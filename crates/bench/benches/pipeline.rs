@@ -1,0 +1,68 @@
+//! Criterion benchmarks of the end-to-end data path: one simulated
+//! measurement pass, the §3.1 quality pipeline, and feature extraction —
+//! i.e. the cost of producing one paper-dataset row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos5g::features::{FeatureSet, FeatureSpec};
+use lumos5g::tabular::build_tabular;
+use lumos5g_sim::{airport, quality, run_campaign, run_pass, CampaignConfig};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Fast Criterion profile: these benches document relative costs, not
+/// publication-grade timings; keep `cargo bench --workspace` minutes-scale.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn bench_pass(c: &mut Criterion) {
+    let area = airport(1);
+    let cfg = CampaignConfig {
+        passes_per_trajectory: 1,
+        max_duration_s: 300,
+        ..Default::default()
+    };
+    c.bench_function("run_pass_300s_airport", |b| {
+        b.iter(|| run_pass(black_box(&area), 0, &cfg, 0, 42))
+    });
+}
+
+fn bench_quality(c: &mut Criterion) {
+    let area = airport(1);
+    let cfg = CampaignConfig {
+        passes_per_trajectory: 3,
+        max_duration_s: 300,
+        ..Default::default()
+    };
+    let raw = run_campaign(&area, &cfg);
+    c.bench_function("quality_pipeline_apply", |b| {
+        b.iter(|| quality::apply(black_box(&raw), &area.frame, &Default::default()))
+    });
+}
+
+fn bench_features(c: &mut Criterion) {
+    let area = airport(1);
+    let cfg = CampaignConfig {
+        passes_per_trajectory: 3,
+        max_duration_s: 300,
+        ..Default::default()
+    };
+    let raw = run_campaign(&area, &cfg);
+    let (data, _) = quality::apply(&raw, &area.frame, &Default::default());
+    for set in [FeatureSet::L, FeatureSet::TM, FeatureSet::TMC] {
+        let spec = FeatureSpec::new(set);
+        c.bench_function(&format!("build_tabular_{}", set.label().replace('+', "")), |b| {
+            b.iter(|| build_tabular(black_box(&data), &spec))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_pass, bench_quality, bench_features
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the statistics substrate — these run hundreds of
+//! thousands of times in the §4 pairwise analyses, so their cost matters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos5g_stats::htest::{anderson_darling_normality, dagostino_pearson, levene_test, welch_t_test, LeveneCenter};
+use lumos5g_stats::{spearman, Ecdf};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Fast Criterion profile: these benches document relative costs, not
+/// publication-grade timings; keep `cargo bench --workspace` minutes-scale.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn samples(n: usize, seed: u64) -> Vec<f64> {
+    // Deterministic pseudo-random data (LCG), adequate for timing.
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0
+        })
+        .collect()
+}
+
+fn bench_tests(c: &mut Criterion) {
+    let a = samples(50, 1);
+    let b = samples(50, 2);
+    c.bench_function("welch_t_test_50v50", |bench| {
+        bench.iter(|| welch_t_test(black_box(&a), black_box(&b)))
+    });
+    c.bench_function("levene_50v50", |bench| {
+        bench.iter(|| levene_test(black_box(&[&a, &b]), LeveneCenter::Median))
+    });
+    let big = samples(200, 3);
+    c.bench_function("dagostino_pearson_200", |bench| {
+        bench.iter(|| dagostino_pearson(black_box(&big)))
+    });
+    c.bench_function("anderson_darling_200", |bench| {
+        bench.iter(|| anderson_darling_normality(black_box(&big)))
+    });
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    let a = samples(100, 4);
+    let b = samples(100, 5);
+    c.bench_function("spearman_100", |bench| {
+        bench.iter(|| spearman(black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_ecdf(c: &mut Criterion) {
+    let xs = samples(10_000, 6);
+    c.bench_function("ecdf_build_10k", |bench| {
+        bench.iter(|| Ecdf::new(black_box(&xs)))
+    });
+    let e = Ecdf::new(&xs).unwrap();
+    c.bench_function("ecdf_eval", |bench| bench.iter(|| e.eval(black_box(42.0))));
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_tests, bench_correlation, bench_ecdf
+}
+criterion_main!(benches);

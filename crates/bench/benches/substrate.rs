@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the physical substrates: radio-field sampling,
+//! LoS queries, the TCP fluid model and the geometry primitives. These
+//! bound the cost of one simulated measurement second.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos5g_geo::{LatLon, PanelPose, Point2};
+use lumos5g_net::{BulkSession, TcpConfig};
+use lumos5g_radio::{TransportMode, UeState};
+use lumos5g_sim::airport;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Fast Criterion profile: these benches document relative costs, not
+/// publication-grade timings; keep `cargo bench --workspace` minutes-scale.
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn bench_radio(c: &mut Criterion) {
+    let area = airport(1);
+    let ue = UeState {
+        pos: Point2::new(3.0, 140.0),
+        heading_deg: 10.0,
+        speed_mps: 1.4,
+        mode: TransportMode::Walking,
+    };
+    c.bench_function("radio_field_evaluate_2_panels", |b| {
+        b.iter(|| area.field.evaluate(black_box(&ue), black_box(-1.5)))
+    });
+    c.bench_function("radio_los_query_3_obstacles", |b| {
+        b.iter(|| {
+            area.field
+                .obstacles
+                .penetration_loss_db(black_box(Point2::new(0.0, 60.0)), black_box(ue.pos))
+        })
+    });
+    c.bench_function("shadow_field_sample", |b| {
+        b.iter(|| area.field.shadow.sample_db(black_box(ue.pos)))
+    });
+}
+
+fn bench_tcp(c: &mut Criterion) {
+    c.bench_function("tcp_step_second_8_conns", |b| {
+        let mut s = BulkSession::new(TcpConfig::iperf_default(), 3);
+        b.iter(|| s.step_second(black_box(1_500.0)))
+    });
+}
+
+fn bench_geo(c: &mut Criterion) {
+    let p = LatLon::new(44.9778, -93.2650);
+    c.bench_function("pixelize_zoom17", |b| {
+        b.iter(|| black_box(p).to_pixel(17))
+    });
+    let pose = PanelPose::new(Point2::new(0.0, 60.0), 0.0);
+    c.bench_function("theta_p_theta_m", |b| {
+        b.iter(|| {
+            let tp = lumos5g_geo::positional_angle_deg(black_box(&pose), Point2::new(5.0, 130.0));
+            let tm = lumos5g_geo::mobility_angle_deg(black_box(&pose), 187.0);
+            (tp, tm)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_radio, bench_tcp, bench_geo
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Export the simulated measurement campaign as a CSV dataset, mirroring
+//! the public Lumos5G dataset release (<https://lumos5g.umn.edu>).
+//!
+//! ```text
+//! cargo run --release -p lumos5g-bench --bin export_dataset -- [--scale quick|std|paper] [--seed N] [--out DIR]
+//! ```
+//!
+//! Writes one CSV per (area, mobility-mode) campaign plus a combined file.
+
+use lumos5g_bench::experiments::context::{Context, Scale};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Std;
+    let mut seed = 42u64;
+    let mut out = PathBuf::from("results/dataset");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .expect("--scale quick|std|paper");
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|s| s.parse().ok()).expect("--seed N");
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).expect("--out DIR"));
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+
+    let mut ctx = Context::new(scale, seed);
+    std::fs::create_dir_all(&out).expect("create output dir");
+
+    let parts = [
+        ("intersection_walk.csv", ctx.intersection_walk()),
+        ("airport_walk.csv", ctx.airport_walk()),
+        ("loop_walk.csv", ctx.loop_walk()),
+        ("loop_drive.csv", ctx.loop_drive()),
+    ];
+    let mut total = 0usize;
+    for (name, ds) in &parts {
+        ds.save_csv(&out.join(name)).expect("write CSV");
+        println!("{name}: {} records", ds.len());
+        total += ds.len();
+    }
+    let combined = ctx.global(true);
+    combined
+        .save_csv(&out.join("global.csv"))
+        .expect("write CSV");
+    println!("global.csv: {} records", combined.len());
+    println!("total per-area records: {total}  →  {}", out.display());
+}

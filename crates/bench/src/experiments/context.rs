@@ -1,0 +1,333 @@
+//! Shared experiment context: lazily simulates and caches the per-area
+//! datasets so that running `repro all` builds each campaign exactly once.
+
+use lumos5g::eval::{eval_both, ClassificationOutcome, RegressionOutcome};
+use lumos5g::features::FeatureSet;
+use lumos5g::predictor::{ModelKind, Seq2SeqParams};
+use lumos5g_ml::GbdtConfig;
+use lumos5g_sim::{
+    airport, intersection, loop_area, quality, run_campaign, Area, CampaignConfig, Dataset,
+    MobilityMode,
+};
+use std::collections::HashMap;
+
+/// Experiment scale: trades fidelity for wall-clock time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale smoke runs (CI).
+    Quick,
+    /// Minutes-scale default; enough data for stable statistics.
+    Std,
+    /// Paper-scale campaign sizes and model hyperparameters (hours).
+    Paper,
+}
+
+impl Scale {
+    /// Parse from CLI text.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s {
+            "quick" => Some(Scale::Quick),
+            "std" => Some(Scale::Std),
+            "paper" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Walking passes per trajectory.
+    pub fn passes(self) -> usize {
+        match self {
+            Scale::Quick => 4,
+            Scale::Std => 12,
+            Scale::Paper => 30,
+        }
+    }
+
+    /// GDBT hyperparameters.
+    pub fn gbdt(self) -> GbdtConfig {
+        match self {
+            Scale::Quick => GbdtConfig {
+                n_estimators: 60,
+                max_depth: 4,
+                learning_rate: 0.15,
+                min_samples_leaf: 5,
+                subsample: 0.8,
+                seed: 0,
+            },
+            Scale::Std => GbdtConfig {
+                n_estimators: 150,
+                max_depth: 6,
+                learning_rate: 0.12,
+                min_samples_leaf: 5,
+                subsample: 0.8,
+                seed: 0,
+            },
+            Scale::Paper => GbdtConfig::paper_scale(),
+        }
+    }
+
+    /// Seq2Seq hyperparameters.
+    pub fn seq2seq(self) -> Seq2SeqParams {
+        match self {
+            Scale::Quick => Seq2SeqParams {
+                input_len: 10,
+                horizon: 5,
+                hidden: 16,
+                layers: 2,
+                epochs: 4,
+                batch_size: 64,
+                lr: 5e-3,
+                stride: 4,
+                seed: 0,
+            },
+            Scale::Std => Seq2SeqParams {
+                input_len: 10,
+                horizon: 5,
+                hidden: 24,
+                layers: 2,
+                epochs: 10,
+                batch_size: 64,
+                lr: 5e-3,
+                stride: 4,
+                seed: 0,
+            },
+            Scale::Paper => Seq2SeqParams {
+                input_len: 20,
+                horizon: 20,
+                hidden: 128,
+                layers: 2,
+                epochs: 2000,
+                batch_size: 256,
+                lr: 1e-3,
+                stride: 1,
+                seed: 0,
+            },
+        }
+    }
+}
+
+/// Lazily built simulation datasets shared across experiments.
+pub struct Context {
+    /// Chosen scale.
+    pub scale: Scale,
+    /// Master seed.
+    pub seed: u64,
+    areas: Option<(Area, Area, Area)>,
+    intersection_walk: Option<Dataset>,
+    airport_walk: Option<Dataset>,
+    loop_walk: Option<Dataset>,
+    loop_drive: Option<Dataset>,
+    #[allow(clippy::type_complexity)]
+    eval_cache: HashMap<String, Result<(RegressionOutcome, ClassificationOutcome), String>>,
+}
+
+impl Context {
+    /// Fresh context.
+    pub fn new(scale: Scale, seed: u64) -> Self {
+        Context {
+            scale,
+            seed,
+            areas: None,
+            intersection_walk: None,
+            airport_walk: None,
+            loop_walk: None,
+            loop_drive: None,
+            eval_cache: HashMap::new(),
+        }
+    }
+
+    /// Run (or fetch from cache) the regression + classification evaluation
+    /// of `model` on `data` under `set`. `data_key` must uniquely identify
+    /// the dataset (e.g. "airport_walk").
+    #[allow(clippy::type_complexity)]
+    pub fn eval_cached(
+        &mut self,
+        data_key: &str,
+        data: &Dataset,
+        set: FeatureSet,
+        model: &ModelKind,
+    ) -> Result<(RegressionOutcome, ClassificationOutcome), String> {
+        let model_key = match model {
+            ModelKind::Gdbt(_) => "gdbt".to_string(),
+            ModelKind::Seq2Seq(p) => format!("s2s{}", p.input_len),
+            ModelKind::Knn { k } => format!("knn{k}"),
+            ModelKind::RandomForest(_) => "rf".to_string(),
+            ModelKind::Kriging { neighbors } => format!("ok{neighbors}"),
+            ModelKind::HarmonicMean { window } => format!("hm{window}"),
+        };
+        let key = format!("{data_key}|{}|{model_key}", set.label());
+        if let Some(hit) = self.eval_cache.get(&key) {
+            return hit.clone();
+        }
+        let out = eval_both(data, set, model, 1);
+        self.eval_cache.insert(key, out.clone());
+        out
+    }
+
+    fn areas(&mut self) -> &(Area, Area, Area) {
+        let seed = self.seed;
+        self.areas.get_or_insert_with(|| {
+            (intersection(seed), airport(seed), loop_area(seed))
+        })
+    }
+
+    /// The Intersection area.
+    pub fn intersection_area(&mut self) -> Area {
+        self.areas().0.clone()
+    }
+
+    /// The Airport area.
+    pub fn airport_area(&mut self) -> Area {
+        self.areas().1.clone()
+    }
+
+    /// The Loop area.
+    pub fn loop_area(&mut self) -> Area {
+        self.areas().2.clone()
+    }
+
+    fn campaign(&self, area: &Area, mode: MobilityMode, passes: usize, seed: u64) -> Dataset {
+        let cfg = CampaignConfig {
+            passes_per_trajectory: passes,
+            mode,
+            base_seed: seed,
+            gps_sigma_m: 2.2,
+            bad_gps_fraction: 0.06,
+            max_duration_s: 1200,
+            handoff: Default::default(),
+        };
+        let raw = run_campaign(area, &cfg);
+        quality::apply(&raw, &area.frame, &Default::default()).0
+    }
+
+    /// Cleaned walking dataset for the Intersection.
+    pub fn intersection_walk(&mut self) -> Dataset {
+        if self.intersection_walk.is_none() {
+            let area = self.intersection_area();
+            // Double the base pass count so per-(cell, direction) groups
+            // reach the n ≥ 20 needed by the normality tests.
+            let passes = self.scale.passes() * 2;
+            let ds = self.campaign(&area, MobilityMode::walking(), passes, self.seed ^ 0x11);
+            self.intersection_walk = Some(ds);
+        }
+        self.intersection_walk.clone().expect("just built")
+    }
+
+    /// Cleaned walking dataset for the Airport.
+    pub fn airport_walk(&mut self) -> Dataset {
+        if self.airport_walk.is_none() {
+            let area = self.airport_area();
+            // Airport trajectories are walked the most in the paper (30+);
+            // give it 3× the base pass count for per-cell statistics.
+            let passes = self.scale.passes() * 3;
+            let ds = self.campaign(&area, MobilityMode::walking(), passes, self.seed ^ 0x22);
+            self.airport_walk = Some(ds);
+        }
+        self.airport_walk.clone().expect("just built")
+    }
+
+    /// Cleaned walking dataset for the Loop.
+    pub fn loop_walk(&mut self) -> Dataset {
+        if self.loop_walk.is_none() {
+            let area = self.loop_area();
+            let passes = (self.scale.passes() / 2).max(2);
+            let ds = self.campaign(&area, MobilityMode::walking(), passes, self.seed ^ 0x33);
+            self.loop_walk = Some(ds);
+        }
+        self.loop_walk.clone().expect("just built")
+    }
+
+    /// Cleaned driving dataset for the Loop.
+    pub fn loop_drive(&mut self) -> Dataset {
+        if self.loop_drive.is_none() {
+            let area = self.loop_area();
+            let passes = (self.scale.passes() / 2).max(2);
+            let ds = self.campaign(&area, MobilityMode::driving(), passes, self.seed ^ 0x44);
+            self.loop_drive = Some(ds);
+        }
+        self.loop_drive.clone().expect("just built")
+    }
+
+    /// Loop walking + driving combined (the paper's Loop dataset).
+    pub fn loop_all(&mut self) -> Dataset {
+        let mut d = self.loop_walk();
+        let mut drive = self.loop_drive();
+        // Re-key driving passes so ids don't collide with walking passes.
+        let offset = d
+            .records
+            .iter()
+            .map(|r| r.pass_id)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        for r in &mut drive.records {
+            r.pass_id += offset;
+        }
+        d.extend(drive);
+        d
+    }
+
+    /// The Global dataset: all areas with known panel locations combined
+    /// (Intersection + Airport), as in §6.2's "Global" column for T-feature
+    /// comparability; pass `include_loop = true` for the L-feature variant.
+    pub fn global(&mut self, include_loop: bool) -> Dataset {
+        let mut d = self.intersection_walk();
+        let mut next_area_offset = 100_000u32;
+        for mut part in [
+            Some(self.airport_walk()),
+            if include_loop { Some(self.loop_all()) } else { None },
+        ]
+        .into_iter()
+        .flatten()
+        {
+            for r in &mut part.records {
+                r.pass_id += next_area_offset;
+                r.trajectory += next_area_offset;
+            }
+            next_area_offset += 100_000;
+            d.extend(part);
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datasets_are_cached() {
+        let mut ctx = Context::new(Scale::Quick, 1);
+        let a = ctx.airport_walk();
+        let b = ctx.airport_walk();
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn loop_all_merges_modes_without_pass_collisions() {
+        let mut ctx = Context::new(Scale::Quick, 1);
+        let all = ctx.loop_all();
+        let walk = ctx.loop_walk();
+        let drive = ctx.loop_drive();
+        assert_eq!(all.len(), walk.len() + drive.len());
+        use std::collections::HashSet;
+        let walk_passes: HashSet<u32> = walk.records.iter().map(|r| r.pass_id).collect();
+        let all_passes: HashSet<u32> = all.records.iter().map(|r| r.pass_id).collect();
+        assert!(all_passes.len() > walk_passes.len());
+    }
+
+    #[test]
+    fn global_spans_multiple_areas() {
+        let mut ctx = Context::new(Scale::Quick, 1);
+        let g = ctx.global(false);
+        use std::collections::HashSet;
+        let areas: HashSet<u8> = g.records.iter().map(|r| r.area).collect();
+        assert!(areas.contains(&0) && areas.contains(&1));
+    }
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!(Scale::parse("std"), Some(Scale::Std));
+        assert_eq!(Scale::parse("nope"), None);
+    }
+}

@@ -1,0 +1,15 @@
+//! Experiment implementations — one module cluster per group of paper
+//! artifacts. See DESIGN.md for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured numbers.
+
+pub mod ablate;
+pub mod context;
+pub mod impact;
+pub mod mlres;
+
+use std::path::PathBuf;
+
+/// Directory where experiment CSVs land.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}

@@ -1,0 +1,12 @@
+//! Support library for the reproduction harness.
+//!
+//! The interesting entry points are the binaries:
+//! - `src/bin/repro.rs` — regenerates every table and figure of the paper
+//!   (see DESIGN.md for the experiment index).
+//! - `benches/` — Criterion micro-benchmarks of the substrates.
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::context::{Context, Scale};
+pub use table::TableWriter;

@@ -1,0 +1,354 @@
+//! Adaptive-bitrate (ABR) video streaming over predicted throughput — the
+//! paper's flagship application (§2.2: "it is shown in \[58\] that with a
+//! prediction error ≤ 20%, the QoE of adaptive video streaming can be
+//! improved close to optimal"; §8.2 sketches Lumos5G-driven rate
+//! adaptation for 8K video).
+//!
+//! [`simulate_session`] runs a segment-by-segment player against a
+//! ground-truth throughput trace, choosing bitrates from a prediction
+//! source, with real buffer dynamics (startup, stalls, capacity) and the
+//! control-theoretic QoE score of Yin et al. \[64\]:
+//! `QoE = mean bitrate − λ·rebuffer ratio − μ·switch magnitude`.
+
+use lumos5g_ml::HarmonicMeanPredictor;
+
+/// Bitrate ladder (sorted ascending, Mbps).
+#[derive(Debug, Clone)]
+pub struct Ladder {
+    rungs: Vec<f64>,
+}
+
+impl Ladder {
+    /// Build from rungs; sorts and deduplicates.
+    pub fn new(mut rungs: Vec<f64>) -> Self {
+        assert!(!rungs.is_empty(), "ladder needs at least one rung");
+        assert!(rungs.iter().all(|&r| r > 0.0), "rungs must be positive");
+        rungs.sort_by(|a, b| a.partial_cmp(b).expect("finite rungs"));
+        rungs.dedup();
+        Ladder { rungs }
+    }
+
+    /// An 8K-era ladder (the paper's eMBB motivation), Mbps.
+    pub fn ultra_hd() -> Self {
+        Ladder::new(vec![20.0, 50.0, 120.0, 300.0, 700.0, 1400.0])
+    }
+
+    /// Lowest rung.
+    pub fn min(&self) -> f64 {
+        self.rungs[0]
+    }
+
+    /// Highest rung.
+    pub fn max(&self) -> f64 {
+        *self.rungs.last().expect("non-empty")
+    }
+
+    /// Highest rung at or below `budget_mbps` (lowest rung if none fit).
+    pub fn pick(&self, budget_mbps: f64) -> f64 {
+        self.rungs
+            .iter()
+            .copied()
+            .filter(|&r| r <= budget_mbps)
+            .fold(self.min(), f64::max)
+    }
+}
+
+/// Player configuration.
+#[derive(Debug, Clone)]
+pub struct PlayerConfig {
+    /// Available bitrates.
+    pub ladder: Ladder,
+    /// Segment duration, seconds.
+    pub segment_s: f64,
+    /// Playback starts once this much media is buffered.
+    pub startup_buffer_s: f64,
+    /// Maximum buffered media, seconds.
+    pub buffer_capacity_s: f64,
+    /// Fraction of the predicted throughput the controller budgets
+    /// (safety margin against prediction error).
+    pub safety_margin: f64,
+    /// When the buffer is below this, the controller drops to the lowest
+    /// rung regardless of prediction (panic mode).
+    pub panic_buffer_s: f64,
+    /// QoE rebuffer penalty λ (Mbps-equivalent per unit rebuffer ratio).
+    pub lambda_rebuffer: f64,
+    /// QoE switch penalty μ (per Mbps of average switch magnitude).
+    pub mu_switch: f64,
+}
+
+impl Default for PlayerConfig {
+    fn default() -> Self {
+        PlayerConfig {
+            ladder: Ladder::ultra_hd(),
+            segment_s: 1.0,
+            startup_buffer_s: 2.0,
+            buffer_capacity_s: 30.0,
+            safety_margin: 0.8,
+            panic_buffer_s: 1.0,
+            lambda_rebuffer: 5_600.0, // 4 × max rung
+            mu_switch: 0.5,
+        }
+    }
+}
+
+/// Where bitrate decisions come from.
+#[derive(Debug, Clone)]
+pub enum Predictor {
+    /// Ground truth (upper bound / oracle).
+    Oracle,
+    /// Harmonic mean of the last `window` observed segment throughputs.
+    Harmonic {
+        /// History window length.
+        window: usize,
+    },
+    /// Externally supplied predictions, one per segment (e.g. Lumos5G).
+    Supplied(Vec<f64>),
+}
+
+/// Session outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QoeReport {
+    /// Mean selected bitrate, Mbps.
+    pub avg_bitrate_mbps: f64,
+    /// Total stall time / total session time.
+    pub rebuffer_ratio: f64,
+    /// Number of distinct stall events (excluding startup).
+    pub stall_events: usize,
+    /// Mean |bitrate switch| between consecutive segments, Mbps.
+    pub avg_switch_mbps: f64,
+    /// Composite QoE (Yin et al. form).
+    pub qoe: f64,
+    /// Segments played.
+    pub segments: usize,
+}
+
+/// Simulate one streaming session over `throughput` (ground-truth Mbps per
+/// second). Bitrate for each segment comes from `predictor`.
+pub fn simulate_session(
+    throughput: &[f64],
+    predictor: &Predictor,
+    cfg: &PlayerConfig,
+) -> QoeReport {
+    assert!(!throughput.is_empty(), "need a throughput trace");
+    if let Predictor::Supplied(p) = predictor {
+        assert!(
+            p.len() * cfg.segment_s as usize >= throughput.len().saturating_sub(1)
+                || !p.is_empty(),
+            "supplied predictions must cover the session"
+        );
+    }
+
+    let mut hm = HarmonicMeanPredictor::new(match predictor {
+        Predictor::Harmonic { window } => *window,
+        _ => 5,
+    });
+
+    let total_time = throughput.len() as f64;
+    let mut t = 0.0f64; // wall-clock seconds
+    let mut buffer_s = 0.0f64;
+    let mut playing = false;
+    let mut stall_time = 0.0f64;
+    let mut stall_events = 0usize;
+    let mut stalled_now = false;
+    let mut bitrates: Vec<f64> = Vec::new();
+    let mut seg_index = 0usize;
+
+    while t < total_time - 1e-9 {
+        // Decide the next segment's bitrate.
+        let second = t as usize;
+        let predicted = match predictor {
+            Predictor::Oracle => throughput[second.min(throughput.len() - 1)],
+            Predictor::Harmonic { .. } => hm.predict().unwrap_or(cfg.ladder.min()),
+            Predictor::Supplied(p) => p[seg_index.min(p.len() - 1)],
+        };
+        let mut bitrate = cfg.ladder.pick(predicted * cfg.safety_margin);
+        if playing && buffer_s < cfg.panic_buffer_s {
+            bitrate = cfg.ladder.min();
+        }
+        bitrates.push(bitrate);
+
+        // Download the segment against the per-second trace.
+        let mut remaining_mb = bitrate * cfg.segment_s; // megabits
+        let mut observed_mb = 0.0;
+        let mut observed_t = 0.0;
+        while remaining_mb > 1e-12 && t < total_time - 1e-9 {
+            let sec = t as usize;
+            let rate = throughput[sec.min(throughput.len() - 1)].max(1e-6);
+            let until_boundary = (sec as f64 + 1.0) - t;
+            let dt = (remaining_mb / rate).min(until_boundary).max(1e-9);
+            let got = rate * dt;
+            remaining_mb -= got;
+            observed_mb += got;
+            observed_t += dt;
+
+            // Playback drains the buffer in parallel.
+            if playing {
+                if buffer_s > 0.0 {
+                    let drained = dt.min(buffer_s);
+                    buffer_s -= drained;
+                    let stall_dt = dt - drained;
+                    if stall_dt > 0.0 {
+                        if !stalled_now {
+                            stalled_now = true;
+                            stall_events += 1;
+                        }
+                        stall_time += stall_dt;
+                    }
+                } else {
+                    if !stalled_now {
+                        stalled_now = true;
+                        stall_events += 1;
+                    }
+                    stall_time += dt;
+                }
+            }
+            t += dt;
+        }
+        if remaining_mb > 1e-9 {
+            // Trace ended mid-download; discard the partial segment.
+            bitrates.pop();
+            break;
+        }
+
+        // Segment arrived.
+        hm.observe(observed_mb / observed_t.max(1e-9));
+        buffer_s += cfg.segment_s;
+        stalled_now = false;
+        if !playing && buffer_s >= cfg.startup_buffer_s {
+            playing = true;
+        }
+        // Buffer-full: idle until there is room (playback keeps draining).
+        if buffer_s > cfg.buffer_capacity_s {
+            let wait = buffer_s - cfg.buffer_capacity_s;
+            buffer_s -= wait.min(buffer_s);
+            t += wait;
+        }
+        seg_index += 1;
+    }
+
+    let n = bitrates.len().max(1) as f64;
+    let avg_bitrate = bitrates.iter().sum::<f64>() / n;
+    let avg_switch = if bitrates.len() >= 2 {
+        bitrates
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum::<f64>()
+            / (bitrates.len() - 1) as f64
+    } else {
+        0.0
+    };
+    let rebuffer_ratio = stall_time / total_time;
+    QoeReport {
+        avg_bitrate_mbps: avg_bitrate,
+        rebuffer_ratio,
+        stall_events,
+        avg_switch_mbps: avg_switch,
+        qoe: avg_bitrate - cfg.lambda_rebuffer * rebuffer_ratio - cfg.mu_switch * avg_switch,
+        segments: bitrates.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn steady(rate: f64, secs: usize) -> Vec<f64> {
+        vec![rate; secs]
+    }
+
+    #[test]
+    fn ladder_picks_highest_affordable() {
+        let l = Ladder::ultra_hd();
+        assert_eq!(l.pick(1_000.0), 700.0);
+        assert_eq!(l.pick(25.0), 20.0);
+        assert_eq!(l.pick(5.0), 20.0); // floor
+        assert_eq!(l.pick(5_000.0), 1_400.0);
+    }
+
+    #[test]
+    fn oracle_on_steady_link_never_stalls() {
+        let trace = steady(900.0, 120);
+        let r = simulate_session(&trace, &Predictor::Oracle, &PlayerConfig::default());
+        assert_eq!(r.stall_events, 0, "{r:?}");
+        assert!(r.rebuffer_ratio < 1e-9);
+        // 900 × 0.8 margin → 700 rung.
+        assert!((r.avg_bitrate_mbps - 700.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oracle_tracks_a_step_change() {
+        let mut trace = steady(1_800.0, 60);
+        trace.extend(steady(100.0, 60));
+        let r = simulate_session(&trace, &Predictor::Oracle, &PlayerConfig::default());
+        assert_eq!(r.stall_events, 0, "{r:?}");
+        assert!(r.avg_switch_mbps > 0.0); // it did switch down
+    }
+
+    #[test]
+    fn harmonic_stalls_on_sudden_drop() {
+        // 30 s at 1.8 Gbps then a hard outage: the history-based controller
+        // keeps requesting huge segments and must stall.
+        let mut trace = steady(1_800.0, 30);
+        trace.extend(steady(15.0, 60));
+        let cfg = PlayerConfig {
+            buffer_capacity_s: 4.0, // small buffer to expose the error
+            ..Default::default()
+        };
+        let hm = simulate_session(&trace, &Predictor::Harmonic { window: 5 }, &cfg);
+        let oracle = simulate_session(&trace, &Predictor::Oracle, &cfg);
+        assert!(hm.rebuffer_ratio > oracle.rebuffer_ratio, "hm {hm:?} vs oracle {oracle:?}");
+    }
+
+    #[test]
+    fn better_predictions_give_better_qoe() {
+        // Alternating link: oracle (perfect prediction) must beat harmonic.
+        let trace: Vec<f64> = (0..240)
+            .map(|i| if (i / 20) % 2 == 0 { 1_500.0 } else { 60.0 })
+            .collect();
+        let cfg = PlayerConfig {
+            buffer_capacity_s: 6.0,
+            ..Default::default()
+        };
+        let oracle = simulate_session(&trace, &Predictor::Oracle, &cfg);
+        let hm = simulate_session(&trace, &Predictor::Harmonic { window: 5 }, &cfg);
+        assert!(
+            oracle.qoe > hm.qoe,
+            "oracle {:.0} should beat harmonic {:.0}",
+            oracle.qoe,
+            hm.qoe
+        );
+    }
+
+    #[test]
+    fn supplied_predictions_are_used() {
+        let trace = steady(500.0, 60);
+        // Deliberately terrible predictions: always promise 2 Gbps.
+        let bad = Predictor::Supplied(vec![2_000.0; 60]);
+        let cfg = PlayerConfig {
+            buffer_capacity_s: 4.0,
+            ..Default::default()
+        };
+        let r_bad = simulate_session(&trace, &bad, &cfg);
+        let good = Predictor::Supplied(vec![500.0; 60]);
+        let r_good = simulate_session(&trace, &good, &cfg);
+        assert!(r_good.qoe > r_bad.qoe, "good {r_good:?} vs bad {r_bad:?}");
+    }
+
+    #[test]
+    fn panic_mode_prevents_death_spiral() {
+        // Weak link: panic mode pins the lowest rung, which is streamable.
+        let trace = steady(25.0, 120);
+        let r = simulate_session(&trace, &Predictor::Oracle, &PlayerConfig::default());
+        assert!((r.avg_bitrate_mbps - 20.0).abs() < 1e-9);
+        assert!(r.rebuffer_ratio < 0.2, "{r:?}");
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let trace = steady(800.0, 90);
+        let r = simulate_session(&trace, &Predictor::Harmonic { window: 5 }, &PlayerConfig::default());
+        assert!(r.segments > 0);
+        assert!(r.avg_bitrate_mbps >= 20.0 && r.avg_bitrate_mbps <= 1_400.0);
+        assert!(r.rebuffer_ratio >= 0.0 && r.rebuffer_ratio <= 1.0);
+    }
+}

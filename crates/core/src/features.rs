@@ -1,0 +1,329 @@
+//! Feature groups and feature extraction (Table 6).
+//!
+//! Circular quantities (compass direction, θp, θm) are encoded as
+//! (sin, cos) pairs so that 359° and 1° are near each other in feature
+//! space — a representation detail the paper leaves to the models; trees
+//! can threshold raw degrees but KNN/Kriging distances benefit from the
+//! circular encoding, so we use it uniformly.
+
+use lumos5g_sim::Record;
+
+/// The four primary feature groups of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureGroup {
+    /// Pixelized longitude/latitude coordinates.
+    Location,
+    /// UE moving speed + compass direction.
+    Mobility,
+    /// UE–panel distance + positional angle + mobility angle.
+    Tower,
+    /// Past throughput + radio type + signal strengths + handoffs.
+    Connection,
+}
+
+/// A combination of primary groups — the "composed" models of Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureSet {
+    /// Location only.
+    L,
+    /// Location + Mobility.
+    LM,
+    /// Tower + Mobility.
+    TM,
+    /// Location + Mobility + Connection.
+    LMC,
+    /// Tower + Mobility + Connection.
+    TMC,
+    /// Location + Tower + Mobility — not one of Table 6's deployment sets,
+    /// but exactly the factor list of the §4 statistical analysis
+    /// (Table 4, row 2: geolocation + distance + both angles + speed).
+    LTM,
+}
+
+impl FeatureSet {
+    /// The primary groups this set composes.
+    pub fn groups(self) -> Vec<FeatureGroup> {
+        use FeatureGroup::*;
+        match self {
+            FeatureSet::L => vec![Location],
+            FeatureSet::LM => vec![Location, Mobility],
+            FeatureSet::TM => vec![Tower, Mobility],
+            FeatureSet::LMC => vec![Location, Mobility, Connection],
+            FeatureSet::TMC => vec![Tower, Mobility, Connection],
+            FeatureSet::LTM => vec![Location, Tower, Mobility],
+        }
+    }
+
+    /// Paper-style label ("L+M", "T+M+C", …).
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureSet::L => "L",
+            FeatureSet::LM => "L+M",
+            FeatureSet::TM => "T+M",
+            FeatureSet::LMC => "L+M+C",
+            FeatureSet::TMC => "T+M+C",
+            FeatureSet::LTM => "L+T+M",
+        }
+    }
+
+    /// Whether the set needs tower/panel knowledge (unavailable for the
+    /// Loop area, like in the paper).
+    pub fn needs_panels(self) -> bool {
+        matches!(self, FeatureSet::TM | FeatureSet::TMC | FeatureSet::LTM)
+    }
+
+    /// Whether the set needs connection history (a 5G session in progress).
+    pub fn needs_history(self) -> bool {
+        matches!(self, FeatureSet::LMC | FeatureSet::TMC)
+    }
+
+    /// All five sets in the paper's table order.
+    pub fn all() -> [FeatureSet; 5] {
+        [
+            FeatureSet::L,
+            FeatureSet::LM,
+            FeatureSet::TM,
+            FeatureSet::LMC,
+            FeatureSet::TMC,
+        ]
+    }
+}
+
+/// Extraction configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureSpec {
+    /// Which groups to extract.
+    pub set: FeatureSet,
+    /// How many past throughput samples the `C` group includes.
+    pub history_window: usize,
+}
+
+impl FeatureSpec {
+    /// Default spec: the given set with a 5-sample throughput history.
+    pub fn new(set: FeatureSet) -> Self {
+        FeatureSpec {
+            set,
+            history_window: 5,
+        }
+    }
+
+    /// Feature names, in extraction order (for importance reports).
+    pub fn feature_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for g in self.set.groups() {
+            match g {
+                FeatureGroup::Location => {
+                    names.push("pixel_x".into());
+                    names.push("pixel_y".into());
+                }
+                FeatureGroup::Mobility => {
+                    names.push("moving_speed".into());
+                    names.push("compass_sin".into());
+                    names.push("compass_cos".into());
+                }
+                FeatureGroup::Tower => {
+                    names.push("panel_distance".into());
+                    names.push("theta_p_sin".into());
+                    names.push("theta_p_cos".into());
+                    names.push("theta_m_sin".into());
+                    names.push("theta_m_cos".into());
+                }
+                FeatureGroup::Connection => {
+                    for i in (1..=self.history_window).rev() {
+                        names.push(format!("past_throughput_t-{i}"));
+                    }
+                    names.push("radio_type_5g".into());
+                    names.push("lte_rsrp".into());
+                    names.push("nr_ssrsrp".into());
+                    names.push("horizontal_handoff".into());
+                    names.push("vertical_handoff".into());
+                }
+            }
+        }
+        names
+    }
+
+    /// Group label for each feature index (for grouped importance, Fig 22).
+    pub fn feature_group_of(&self, idx: usize) -> FeatureGroup {
+        let mut i = 0;
+        for g in self.set.groups() {
+            let width = match g {
+                FeatureGroup::Location => 2,
+                FeatureGroup::Mobility => 3,
+                FeatureGroup::Tower => 5,
+                FeatureGroup::Connection => self.history_window + 5,
+            };
+            if idx < i + width {
+                return g;
+            }
+            i += width;
+        }
+        panic!("feature index {idx} out of range");
+    }
+
+    /// Total feature-vector dimension.
+    pub fn dim(&self) -> usize {
+        self.feature_names().len()
+    }
+
+    /// Extract the feature vector for `records[i]`.
+    ///
+    /// `records` must be one time-ordered pass (the `C` group reads the
+    /// `history_window` preceding samples). Returns `None` when the set
+    /// requires history that is not yet available.
+    pub fn extract(&self, records: &[Record], i: usize) -> Option<Vec<f64>> {
+        let r = &records[i];
+        let mut x = Vec::with_capacity(self.dim());
+        for g in self.set.groups() {
+            match g {
+                FeatureGroup::Location => {
+                    x.push(r.pixel_x as f64);
+                    x.push(r.pixel_y as f64);
+                }
+                FeatureGroup::Mobility => {
+                    x.push(r.moving_speed_mps);
+                    let rad = r.compass_deg.to_radians();
+                    x.push(rad.sin());
+                    x.push(rad.cos());
+                }
+                FeatureGroup::Tower => {
+                    x.push(r.panel_distance_m);
+                    let tp = r.theta_p_deg.to_radians();
+                    x.push(tp.sin());
+                    x.push(tp.cos());
+                    let tm = r.theta_m_deg.to_radians();
+                    x.push(tm.sin());
+                    x.push(tm.cos());
+                }
+                FeatureGroup::Connection => {
+                    if i < self.history_window {
+                        return None;
+                    }
+                    // Guard against pass boundaries: history must be the
+                    // same pass with contiguous seconds.
+                    for k in (1..=self.history_window).rev() {
+                        let prev = &records[i - k];
+                        if prev.pass_id != r.pass_id || prev.t + k as u32 != r.t {
+                            return None;
+                        }
+                        x.push(prev.throughput_mbps);
+                    }
+                    x.push(if r.on_5g { 1.0 } else { 0.0 });
+                    x.push(r.lte_rsrp_dbm);
+                    x.push(r.nr_ssrsrp_dbm);
+                    x.push(if r.horizontal_handoff { 1.0 } else { 0.0 });
+                    x.push(if r.vertical_handoff { 1.0 } else { 0.0 });
+                }
+            }
+        }
+        debug_assert_eq!(x.len(), self.dim());
+        Some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos5g_sim::{Activity, Record};
+
+    fn rec(t: u32, pass: u32, thpt: f64) -> Record {
+        Record {
+            area: 1,
+            pass_id: pass,
+            trajectory: 0,
+            t,
+            lat: 44.88,
+            lon: -93.20,
+            gps_accuracy_m: 2.0,
+            activity: Activity::Walking,
+            moving_speed_mps: 1.4,
+            compass_deg: 90.0,
+            throughput_mbps: thpt,
+            on_5g: true,
+            cell_id: 1,
+            lte_rsrp_dbm: -95.0,
+            nr_ssrsrp_dbm: -80.0,
+            horizontal_handoff: false,
+            vertical_handoff: false,
+            panel_distance_m: 50.0,
+            theta_p_deg: 30.0,
+            theta_m_deg: 180.0,
+            pixel_x: 1000,
+            pixel_y: 2000,
+            snapped_x_m: 1.0,
+            snapped_y_m: 2.0,
+            true_x_m: 1.0,
+            true_y_m: 2.0,
+            true_speed_mps: 1.4,
+        }
+    }
+
+    #[test]
+    fn dims_match_names() {
+        for set in FeatureSet::all() {
+            let spec = FeatureSpec::new(set);
+            assert_eq!(spec.dim(), spec.feature_names().len());
+        }
+    }
+
+    #[test]
+    fn l_set_is_two_dimensional() {
+        let spec = FeatureSpec::new(FeatureSet::L);
+        assert_eq!(spec.dim(), 2);
+        let recs = vec![rec(0, 1, 100.0)];
+        let x = spec.extract(&recs, 0).unwrap();
+        assert_eq!(x, vec![1000.0, 2000.0]);
+    }
+
+    #[test]
+    fn compass_is_circularly_encoded() {
+        let spec = FeatureSpec::new(FeatureSet::LM);
+        let recs = vec![rec(0, 1, 100.0)];
+        let x = spec.extract(&recs, 0).unwrap();
+        // compass 90° → sin = 1, cos = 0.
+        assert!((x[3] - 1.0).abs() < 1e-12);
+        assert!(x[4].abs() < 1e-12);
+    }
+
+    #[test]
+    fn c_features_need_history() {
+        let spec = FeatureSpec::new(FeatureSet::LMC);
+        let recs: Vec<Record> = (0..10).map(|t| rec(t, 1, 100.0 + t as f64)).collect();
+        assert!(spec.extract(&recs, 3).is_none()); // window = 5
+        let x = spec.extract(&recs, 7).unwrap();
+        // Past throughputs t-5..t-1 = 102..106.
+        assert_eq!(&x[5..10], &[102.0, 103.0, 104.0, 105.0, 106.0]);
+    }
+
+    #[test]
+    fn history_does_not_cross_pass_boundaries() {
+        let spec = FeatureSpec::new(FeatureSet::LMC);
+        let mut recs: Vec<Record> = (0..6).map(|t| rec(t, 1, 100.0)).collect();
+        recs.extend((0..6).map(|t| rec(t, 2, 200.0)));
+        // Index 8 is t=2 of pass 2: only 2 in-pass predecessors < window.
+        assert!(spec.extract(&recs, 8).is_none());
+        // Index 11 is t=5 of pass 2: full in-pass history.
+        assert!(spec.extract(&recs, 11).is_some());
+    }
+
+    #[test]
+    fn group_of_feature_indices() {
+        let spec = FeatureSpec::new(FeatureSet::TMC);
+        assert_eq!(spec.feature_group_of(0), FeatureGroup::Tower);
+        assert_eq!(spec.feature_group_of(5), FeatureGroup::Mobility);
+        assert_eq!(spec.feature_group_of(8), FeatureGroup::Connection);
+    }
+
+    #[test]
+    fn labels_match_paper_notation() {
+        assert_eq!(FeatureSet::LMC.label(), "L+M+C");
+        assert_eq!(FeatureSet::TM.label(), "T+M");
+    }
+
+    #[test]
+    fn panel_requirement_flags() {
+        assert!(FeatureSet::TM.needs_panels());
+        assert!(FeatureSet::TMC.needs_panels());
+        assert!(!FeatureSet::LMC.needs_panels());
+    }
+}

@@ -1,0 +1,375 @@
+//! 5G throughput maps (Figs 3c, 6, 9).
+//!
+//! A [`ThroughputMap`] aggregates samples on the paper's 2 m × 2 m grid and
+//! renders them as CSV (for plotting) or ASCII art (for terminals), using
+//! the paper's color semantics: dark red < 60 Mbps … lime green > 1 Gbps.
+//! Maps can be restricted by direction to reproduce the NB-vs-SB contrast
+//! of Fig 9, and support cell-level statistics for the §4.1 analysis.
+
+use lumos5g_geo::{GridCell, GridIndex};
+use lumos5g_sim::Dataset;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Aggregated per-cell throughput statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellStats {
+    /// Number of samples.
+    pub n: usize,
+    /// Mean throughput, Mbps.
+    pub mean: f64,
+    /// Sample standard deviation (0 for a single sample).
+    pub std: f64,
+}
+
+/// A gridded throughput map.
+#[derive(Debug, Clone)]
+pub struct ThroughputMap {
+    grid: GridIndex,
+    cells: HashMap<GridCell, CellStats>,
+}
+
+impl ThroughputMap {
+    /// Build from a dataset on the paper's 2 m grid.
+    pub fn from_dataset(data: &Dataset) -> Self {
+        Self::from_dataset_with_grid(data, GridIndex::paper_map_grid())
+    }
+
+    /// Build with a custom grid.
+    pub fn from_dataset_with_grid(data: &Dataset, grid: GridIndex) -> Self {
+        let groups = data.throughput_by_cell(&grid);
+        let cells = groups
+            .into_iter()
+            .map(|(cell, vals)| {
+                let n = vals.len();
+                let mean = vals.iter().sum::<f64>() / n as f64;
+                let var = if n > 1 {
+                    vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64
+                } else {
+                    0.0
+                };
+                (
+                    cell,
+                    CellStats {
+                        n,
+                        mean,
+                        std: var.sqrt(),
+                    },
+                )
+            })
+            .collect();
+        ThroughputMap { grid, cells }
+    }
+
+    /// Number of non-empty cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the map has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Statistics for the cell containing local point `(x, y)`.
+    pub fn query(&self, x: f64, y: f64) -> Option<CellStats> {
+        self.cells
+            .get(&self.grid.cell_of(lumos5g_geo::Point2::new(x, y)))
+            .copied()
+    }
+
+    /// Iterate over `(cell, stats)`.
+    pub fn cells(&self) -> impl Iterator<Item = (&GridCell, &CellStats)> {
+        self.cells.iter()
+    }
+
+    /// The paper's Fig 6 color-scale bucket for a mean throughput:
+    /// 0 = "<60 Mbps" (dark red) … 5 = ">1 Gbps" (lime green).
+    pub fn color_bucket(mean_mbps: f64) -> u8 {
+        match mean_mbps {
+            m if m < 60.0 => 0,
+            m if m < 300.0 => 1,
+            m if m < 500.0 => 2,
+            m if m < 700.0 => 3,
+            m if m < 1000.0 => 4,
+            _ => 5,
+        }
+    }
+
+    /// CSV export: `cell_i,cell_j,x_m,y_m,n,mean_mbps,std_mbps,bucket`.
+    pub fn to_csv(&self) -> String {
+        let mut rows: Vec<(&GridCell, &CellStats)> = self.cells.iter().collect();
+        rows.sort_by_key(|(c, _)| (c.j, c.i));
+        let mut out = String::from("cell_i,cell_j,x_m,y_m,n,mean_mbps,std_mbps,bucket\n");
+        for (c, s) in rows {
+            let center = self.grid.center_of(*c);
+            let _ = writeln!(
+                out,
+                "{},{},{:.1},{:.1},{},{:.1},{:.1},{}",
+                c.i,
+                c.j,
+                center.x,
+                center.y,
+                s.n,
+                s.mean,
+                s.std,
+                Self::color_bucket(s.mean)
+            );
+        }
+        out
+    }
+
+    /// ASCII heatmap: one character per cell (`.` empty, `0`–`5` bucket),
+    /// north up. Useful in terminals and integration tests.
+    pub fn to_ascii(&self) -> String {
+        if self.cells.is_empty() {
+            return String::from("(empty map)\n");
+        }
+        let min_i = self.cells.keys().map(|c| c.i).min().expect("non-empty");
+        let max_i = self.cells.keys().map(|c| c.i).max().expect("non-empty");
+        let min_j = self.cells.keys().map(|c| c.j).min().expect("non-empty");
+        let max_j = self.cells.keys().map(|c| c.j).max().expect("non-empty");
+        let mut out = String::new();
+        for j in (min_j..=max_j).rev() {
+            for i in min_i..=max_i {
+                match self.cells.get(&GridCell { i, j }) {
+                    None => out.push('.'),
+                    Some(s) => {
+                        out.push(char::from_digit(Self::color_bucket(s.mean) as u32, 10)
+                            .expect("bucket < 10"));
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Merge maps contributed by multiple users (the §8.2 crowdsourced
+    /// platform): per-cell statistics are pooled exactly as if all samples
+    /// had been collected by one device. All maps must share the grid size.
+    pub fn merge(maps: &[&ThroughputMap]) -> ThroughputMap {
+        assert!(!maps.is_empty(), "need at least one map to merge");
+        let cell = maps[0].grid.cell_size();
+        assert!(
+            maps.iter().all(|m| (m.grid.cell_size() - cell).abs() < 1e-12),
+            "maps must share a grid size"
+        );
+        let mut cells: HashMap<GridCell, CellStats> = HashMap::new();
+        for m in maps {
+            for (k, s) in &m.cells {
+                cells
+                    .entry(*k)
+                    .and_modify(|acc| *acc = pool(*acc, *s))
+                    .or_insert(*s);
+            }
+        }
+        ThroughputMap {
+            grid: maps[0].grid,
+            cells,
+        }
+    }
+
+    /// The Fig-4 "conical heatmap" query: expected throughput in a cone of
+    /// half-angle `halfangle_deg` around `heading_deg` from `(x, y)`, out
+    /// to `range_m`. Returns the sample-weighted mean over covered cells,
+    /// or `None` when no populated cell falls inside the cone — this is the
+    /// primitive a 5G-aware app would call to anticipate conditions ahead.
+    pub fn conical_query(
+        &self,
+        x: f64,
+        y: f64,
+        heading_deg: f64,
+        halfangle_deg: f64,
+        range_m: f64,
+    ) -> Option<f64> {
+        let mut weighted = 0.0;
+        let mut weight = 0.0;
+        for (cell, stats) in &self.cells {
+            let c = self.grid.center_of(*cell);
+            let dx = c.x - x;
+            let dy = c.y - y;
+            let d = (dx * dx + dy * dy).sqrt();
+            if d < 1e-9 || d > range_m {
+                continue;
+            }
+            let bearing = lumos5g_geo::bearing_deg(x, y, c.x, c.y);
+            if lumos5g_geo::signed_delta_deg(heading_deg, bearing).abs() > halfangle_deg {
+                continue;
+            }
+            weighted += stats.mean * stats.n as f64;
+            weight += stats.n as f64;
+        }
+        if weight > 0.0 {
+            Some(weighted / weight)
+        } else {
+            None
+        }
+    }
+
+    /// Fraction of cells whose mean falls in the given bucket.
+    pub fn bucket_fraction(&self, bucket: u8) -> f64 {
+        if self.cells.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .cells
+            .values()
+            .filter(|s| Self::color_bucket(s.mean) == bucket)
+            .count();
+        hits as f64 / self.cells.len() as f64
+    }
+}
+
+/// Pool two per-cell summaries as if their samples were one set (exact for
+/// mean; std via combined sum-of-squares).
+fn pool(a: CellStats, b: CellStats) -> CellStats {
+    let n = a.n + b.n;
+    let nf = n as f64;
+    let mean = (a.mean * a.n as f64 + b.mean * b.n as f64) / nf;
+    // Reconstruct each group's total sum of squared deviations (sample
+    // variance uses n−1).
+    let ss = |s: CellStats| -> f64 {
+        if s.n > 1 {
+            s.std * s.std * (s.n - 1) as f64
+        } else {
+            0.0
+        }
+    };
+    let total_ss =
+        ss(a) + ss(b) + a.n as f64 * (a.mean - mean).powi(2) + b.n as f64 * (b.mean - mean).powi(2);
+    let std = if n > 1 { (total_ss / (n - 1) as f64).sqrt() } else { 0.0 };
+    CellStats { n, mean, std }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos5g_sim::{airport, quality, run_campaign, CampaignConfig};
+
+    fn map_from_sim() -> ThroughputMap {
+        let area = airport(9);
+        let cfg = CampaignConfig {
+            passes_per_trajectory: 2,
+            max_duration_s: 280,
+            bad_gps_fraction: 0.0,
+            ..Default::default()
+        };
+        let raw = run_campaign(&area, &cfg);
+        let (clean, _) = quality::apply(&raw, &area.frame, &Default::default());
+        ThroughputMap::from_dataset(&clean)
+    }
+
+    #[test]
+    fn map_has_cells_along_the_corridor() {
+        let m = map_from_sim();
+        assert!(m.len() > 50, "only {} cells", m.len());
+    }
+
+    #[test]
+    fn buckets_match_paper_scale() {
+        assert_eq!(ThroughputMap::color_bucket(10.0), 0);
+        assert_eq!(ThroughputMap::color_bucket(100.0), 1);
+        assert_eq!(ThroughputMap::color_bucket(400.0), 2);
+        assert_eq!(ThroughputMap::color_bucket(600.0), 3);
+        assert_eq!(ThroughputMap::color_bucket(800.0), 4);
+        assert_eq!(ThroughputMap::color_bucket(1500.0), 5);
+    }
+
+    #[test]
+    fn csv_row_count_matches_cells() {
+        let m = map_from_sim();
+        let csv = m.to_csv();
+        assert_eq!(csv.lines().count(), m.len() + 1);
+    }
+
+    #[test]
+    fn ascii_renders_digits_and_dots() {
+        let m = map_from_sim();
+        let art = m.to_ascii();
+        assert!(art.contains('\n'));
+        assert!(art.chars().all(|c| c == '.' || c == '\n' || c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn bucket_fractions_sum_to_one() {
+        let m = map_from_sim();
+        let total: f64 = (0..=5).map(|b| m.bucket_fraction(b)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_finds_populated_cells() {
+        let m = map_from_sim();
+        // The corridor spine (x≈0, y≈100) should be covered.
+        let found = (80..240).step_by(2).any(|y| m.query(0.0, y as f64).is_some());
+        assert!(found);
+    }
+
+    #[test]
+    fn conical_query_sees_ahead_not_behind() {
+        let m = map_from_sim();
+        // Standing mid-corridor looking north: cells ahead are covered.
+        let ahead = m.conical_query(0.0, 150.0, 0.0, 30.0, 80.0);
+        assert!(ahead.is_some());
+        // Looking due east out of the corridor: nothing there.
+        let outside = m.conical_query(0.0, 150.0, 90.0, 20.0, 200.0);
+        // The corridor is ~30 m wide, so a narrow east cone finds little or
+        // nothing beyond it.
+        if let Some(v) = outside {
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn conical_query_range_limits_coverage() {
+        let m = map_from_sim();
+        let near = m.conical_query(0.0, 100.0, 0.0, 45.0, 20.0);
+        let far = m.conical_query(0.0, 100.0, 0.0, 45.0, 250.0);
+        // Wider range must cover at least as many cells (both Some here).
+        assert!(near.is_some() && far.is_some());
+    }
+
+    #[test]
+    fn merge_pools_statistics_exactly() {
+        use lumos5g_sim::Dataset;
+        let area = airport(31);
+        let cfg = CampaignConfig {
+            passes_per_trajectory: 2,
+            max_duration_s: 200,
+            bad_gps_fraction: 0.0,
+            ..Default::default()
+        };
+        let raw = run_campaign(&area, &cfg);
+        let (clean, _) = quality::apply(&raw, &area.frame, &Default::default());
+        // Split by pass parity into two "users", map each, merge.
+        let user_a: Dataset = clean.filter(|r| r.pass_id % 2 == 0);
+        let user_b: Dataset = clean.filter(|r| r.pass_id % 2 == 1);
+        let map_a = ThroughputMap::from_dataset(&user_a);
+        let map_b = ThroughputMap::from_dataset(&user_b);
+        let merged = ThroughputMap::merge(&[&map_a, &map_b]);
+        let direct = ThroughputMap::from_dataset(&clean);
+        assert_eq!(merged.len(), direct.len());
+        for (cell, want) in direct.cells() {
+            let center = lumos5g_geo::GridIndex::paper_map_grid().center_of(*cell);
+            let got = merged.query(center.x, center.y).expect("cell present");
+            assert_eq!(got.n, want.n);
+            assert!((got.mean - want.mean).abs() < 1e-9);
+            assert!((got.std - want.std).abs() < 1e-9, "{} vs {}", got.std, want.std);
+        }
+    }
+
+    #[test]
+    fn merge_single_map_is_identity() {
+        let m = map_from_sim();
+        let merged = ThroughputMap::merge(&[&m]);
+        assert_eq!(merged.len(), m.len());
+    }
+
+    #[test]
+    fn conical_query_empty_cone_is_none() {
+        let m = map_from_sim();
+        // Far outside the corridor looking further away.
+        assert_eq!(m.conical_query(5_000.0, 5_000.0, 45.0, 10.0, 50.0), None);
+    }
+}

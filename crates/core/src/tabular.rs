@@ -1,0 +1,260 @@
+//! Supervised dataset construction.
+//!
+//! The prediction task (§5.2): from features measured up to second `t`,
+//! predict the throughput of second `t+1` (short-term regression) or its
+//! class. GDBT and the tabular baselines see the feature vector of the
+//! current second; Seq2Seq sees the last `input_len` feature vectors and
+//! emits `horizon` future throughputs.
+
+use crate::classes::ThroughputClass;
+use crate::features::FeatureSpec;
+use lumos5g_sim::{Dataset, Record};
+use std::collections::BTreeMap;
+
+/// Tabular supervised data (GDBT, KNN, RF, Kriging).
+#[derive(Debug, Clone, Default)]
+pub struct TabularData {
+    /// Feature matrix.
+    pub xs: Vec<Vec<f64>>,
+    /// Next-second throughput targets, Mbps.
+    pub ys: Vec<f64>,
+    /// Class labels of the targets.
+    pub labels: Vec<usize>,
+    /// Snapped (x, y) positions of the feature second — Kriging's inputs.
+    pub positions: Vec<[f64; 2]>,
+}
+
+impl TabularData {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Select a subset by indices.
+    pub fn select(&self, idx: &[usize]) -> TabularData {
+        TabularData {
+            xs: idx.iter().map(|&i| self.xs[i].clone()).collect(),
+            ys: idx.iter().map(|&i| self.ys[i]).collect(),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+            positions: idx.iter().map(|&i| self.positions[i]).collect(),
+        }
+    }
+}
+
+/// Time-ordered per-pass record slices.
+fn passes(data: &Dataset) -> Vec<Vec<&Record>> {
+    let mut map: BTreeMap<(u32, u32), Vec<&Record>> = BTreeMap::new();
+    for r in &data.records {
+        map.entry((r.trajectory, r.pass_id)).or_default().push(r);
+    }
+    map.into_values()
+        .map(|mut v| {
+            v.sort_by_key(|r| r.t);
+            v
+        })
+        .collect()
+}
+
+/// Build tabular data: features at second `t` → throughput at `t+1`.
+pub fn build_tabular(data: &Dataset, spec: &FeatureSpec) -> TabularData {
+    let mut out = TabularData::default();
+    for pass in passes(data) {
+        let owned: Vec<Record> = pass.iter().map(|r| (*r).clone()).collect();
+        for i in 0..owned.len().saturating_sub(1) {
+            // Target must be the contiguous next second of the same pass.
+            if owned[i + 1].t != owned[i].t + 1 {
+                continue;
+            }
+            if let Some(x) = spec.extract(&owned, i) {
+                let y = owned[i + 1].throughput_mbps;
+                out.xs.push(x);
+                out.ys.push(y);
+                out.labels.push(ThroughputClass::of(y).index());
+                out.positions.push([owned[i].snapped_x_m, owned[i].snapped_y_m]);
+            }
+        }
+    }
+    out
+}
+
+/// Sequence supervised data (Seq2Seq).
+#[derive(Debug, Clone, Default)]
+pub struct SequenceData {
+    /// Input sequences: `inputs[sample][time][feature]`.
+    pub inputs: Vec<Vec<Vec<f64>>>,
+    /// Target sequences: `targets[sample][future_step]`, Mbps.
+    pub targets: Vec<Vec<f64>>,
+}
+
+impl SequenceData {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Select a subset by indices.
+    pub fn select(&self, idx: &[usize]) -> SequenceData {
+        SequenceData {
+            inputs: idx.iter().map(|&i| self.inputs[i].clone()).collect(),
+            targets: idx.iter().map(|&i| self.targets[i].clone()).collect(),
+        }
+    }
+}
+
+/// Build sequence data: `input_len` consecutive feature vectors → the next
+/// `horizon` throughputs. Windows slide by `stride` within each pass.
+pub fn build_sequences(
+    data: &Dataset,
+    spec: &FeatureSpec,
+    input_len: usize,
+    horizon: usize,
+    stride: usize,
+) -> SequenceData {
+    assert!(input_len >= 1 && horizon >= 1 && stride >= 1);
+    let mut out = SequenceData::default();
+    for pass in passes(data) {
+        let owned: Vec<Record> = pass.iter().map(|r| (*r).clone()).collect();
+        if owned.len() < input_len + horizon {
+            continue;
+        }
+        // Contiguity: require consecutive seconds across the whole window.
+        let contiguous = |a: usize, b: usize| owned[b].t - owned[a].t == (b - a) as u32;
+        let mut start = 0usize;
+        while start + input_len + horizon <= owned.len() {
+            let end_in = start + input_len;
+            let end_out = end_in + horizon;
+            if contiguous(start, end_out - 1) {
+                let mut xs = Vec::with_capacity(input_len);
+                let mut ok = true;
+                for i in start..end_in {
+                    match spec.extract(&owned, i) {
+                        Some(x) => xs.push(x),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    out.inputs.push(xs);
+                    out.targets.push(
+                        (end_in..end_out).map(|i| owned[i].throughput_mbps).collect(),
+                    );
+                }
+            }
+            start += stride;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::FeatureSet;
+    use lumos5g_sim::{Activity, Record};
+
+    fn rec(t: u32, pass: u32, thpt: f64) -> Record {
+        Record {
+            area: 1,
+            pass_id: pass,
+            trajectory: 0,
+            t,
+            lat: 44.88,
+            lon: -93.20,
+            gps_accuracy_m: 2.0,
+            activity: Activity::Walking,
+            moving_speed_mps: 1.4,
+            compass_deg: 0.0,
+            throughput_mbps: thpt,
+            on_5g: true,
+            cell_id: 1,
+            lte_rsrp_dbm: -95.0,
+            nr_ssrsrp_dbm: -80.0,
+            horizontal_handoff: false,
+            vertical_handoff: false,
+            panel_distance_m: 50.0,
+            theta_p_deg: 0.0,
+            theta_m_deg: 0.0,
+            pixel_x: (t as i64) * 2,
+            pixel_y: 7,
+            snapped_x_m: t as f64,
+            snapped_y_m: 0.0,
+            true_x_m: t as f64,
+            true_y_m: 0.0,
+            true_speed_mps: 1.4,
+        }
+    }
+
+    fn toy_dataset(n: u32) -> Dataset {
+        Dataset::new((0..n).map(|t| rec(t, 1, 100.0 + t as f64)).collect())
+    }
+
+    #[test]
+    fn tabular_targets_are_next_second() {
+        let td = build_tabular(&toy_dataset(5), &FeatureSpec::new(FeatureSet::L));
+        assert_eq!(td.len(), 4);
+        // Features of t=0 (pixel_x 0) predict throughput at t=1 (101).
+        assert_eq!(td.xs[0][0], 0.0);
+        assert_eq!(td.ys[0], 101.0);
+    }
+
+    #[test]
+    fn tabular_skips_time_gaps() {
+        let mut recs: Vec<Record> = (0..3).map(|t| rec(t, 1, 100.0)).collect();
+        recs.push(rec(10, 1, 100.0)); // gap
+        recs.push(rec(11, 1, 100.0));
+        let td = build_tabular(&Dataset::new(recs), &FeatureSpec::new(FeatureSet::L));
+        // Pairs: (0→1), (1→2), (10→11). The 2→10 gap is skipped.
+        assert_eq!(td.len(), 3);
+    }
+
+    #[test]
+    fn tabular_class_labels_follow_targets() {
+        let recs = vec![rec(0, 1, 0.0), rec(1, 1, 500.0), rec(2, 1, 900.0)];
+        let td = build_tabular(&Dataset::new(recs), &FeatureSpec::new(FeatureSet::L));
+        assert_eq!(td.labels, vec![1, 2]); // 500 = medium, 900 = high
+    }
+
+    #[test]
+    fn sequences_have_requested_shape() {
+        let sd = build_sequences(&toy_dataset(30), &FeatureSpec::new(FeatureSet::L), 10, 5, 1);
+        assert!(!sd.is_empty());
+        assert_eq!(sd.inputs[0].len(), 10);
+        assert_eq!(sd.inputs[0][0].len(), 2);
+        assert_eq!(sd.targets[0].len(), 5);
+        // First window: inputs t=0..9, targets t=10..14 → 110..114.
+        assert_eq!(sd.targets[0], vec![110.0, 111.0, 112.0, 113.0, 114.0]);
+    }
+
+    #[test]
+    fn sequences_respect_stride() {
+        let s1 = build_sequences(&toy_dataset(30), &FeatureSpec::new(FeatureSet::L), 10, 5, 1);
+        let s5 = build_sequences(&toy_dataset(30), &FeatureSpec::new(FeatureSet::L), 10, 5, 5);
+        assert!(s5.len() < s1.len());
+    }
+
+    #[test]
+    fn short_passes_produce_no_sequences() {
+        let sd = build_sequences(&toy_dataset(8), &FeatureSpec::new(FeatureSet::L), 10, 5, 1);
+        assert!(sd.is_empty());
+    }
+
+    #[test]
+    fn select_subsets_consistently() {
+        let td = build_tabular(&toy_dataset(10), &FeatureSpec::new(FeatureSet::L));
+        let sub = td.select(&[0, 2]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.ys[1], td.ys[2]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Compass-circle arithmetic.
+//!
+//! All angles are in **degrees**. Azimuths/bearings follow the compass
+//! convention the paper uses: 0° = North, 90° = East, increasing clockwise.
+
+/// Normalize an angle to `[0, 360)`.
+pub fn normalize_deg(a: f64) -> f64 {
+    let r = a % 360.0;
+    if r < 0.0 {
+        r + 360.0
+    } else {
+        r
+    }
+}
+
+/// Signed smallest rotation from `from` to `to`, in `(-180, 180]`.
+pub fn signed_delta_deg(from: f64, to: f64) -> f64 {
+    let d = normalize_deg(to - from);
+    if d > 180.0 {
+        d - 360.0
+    } else {
+        d
+    }
+}
+
+/// Fold a full-circle angle onto `[0, 180]` (angular separation regardless of
+/// side). Useful when only the magnitude of misalignment matters, e.g. for
+/// antenna gain roll-off.
+pub fn fold_angle_deg(a: f64) -> f64 {
+    let n = normalize_deg(a);
+    if n > 180.0 {
+        360.0 - n
+    } else {
+        n
+    }
+}
+
+/// Compass bearing from point `(x1, y1)` to `(x2, y2)` in a local
+/// east-north frame (x = east meters, y = north meters).
+///
+/// Returns degrees in `[0, 360)`, 0° = North, clockwise positive.
+pub fn bearing_deg(x1: f64, y1: f64, x2: f64, y2: f64) -> f64 {
+    let dx = x2 - x1; // east
+    let dy = y2 - y1; // north
+    normalize_deg(dx.atan2(dy).to_degrees())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn normalize_wraps_both_directions() {
+        assert!((normalize_deg(370.0) - 10.0).abs() < EPS);
+        assert!((normalize_deg(-10.0) - 350.0).abs() < EPS);
+        assert!((normalize_deg(720.0)).abs() < EPS);
+    }
+
+    #[test]
+    fn signed_delta_takes_short_way() {
+        assert!((signed_delta_deg(350.0, 10.0) - 20.0).abs() < EPS);
+        assert!((signed_delta_deg(10.0, 350.0) + 20.0).abs() < EPS);
+        assert!((signed_delta_deg(0.0, 180.0) - 180.0).abs() < EPS);
+    }
+
+    #[test]
+    fn fold_collapses_to_half_circle() {
+        assert!((fold_angle_deg(270.0) - 90.0).abs() < EPS);
+        assert!((fold_angle_deg(180.0) - 180.0).abs() < EPS);
+        assert!((fold_angle_deg(-45.0) - 45.0).abs() < EPS);
+    }
+
+    #[test]
+    fn bearing_cardinal_directions() {
+        assert!((bearing_deg(0.0, 0.0, 0.0, 1.0) - 0.0).abs() < EPS); // north
+        assert!((bearing_deg(0.0, 0.0, 1.0, 0.0) - 90.0).abs() < EPS); // east
+        assert!((bearing_deg(0.0, 0.0, 0.0, -1.0) - 180.0).abs() < EPS); // south
+        assert!((bearing_deg(0.0, 0.0, -1.0, 0.0) - 270.0).abs() < EPS); // west
+    }
+
+    #[test]
+    fn bearing_diagonal() {
+        assert!((bearing_deg(0.0, 0.0, 1.0, 1.0) - 45.0).abs() < EPS);
+    }
+}

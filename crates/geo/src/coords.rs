@@ -1,0 +1,158 @@
+//! WGS84 ↔ Web-Mercator pixel coordinates.
+//!
+//! The paper discretizes GPS fixes to the pixel grid defined by the Google
+//! Maps JavaScript API at **zoom level 17**, where one pixel spans roughly
+//! 0.99–1.19 m (§3.1). World coordinates use the standard 256×256 tile at
+//! zoom 0; pixel coordinates at zoom `z` scale world coordinates by `2^z`.
+
+use crate::local::{LocalFrame, Point2};
+
+/// Zoom level used throughout the paper (≈1 m per pixel).
+pub const ZOOM_PAPER: u8 = 17;
+
+/// Mean Earth radius used by Web Mercator, meters.
+pub const EARTH_RADIUS_M: f64 = 6_378_137.0;
+
+/// A WGS84 geographic coordinate in degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatLon {
+    /// Latitude in degrees, clamped to the Web-Mercator domain (±85.05°).
+    pub lat: f64,
+    /// Longitude in degrees in `[-180, 180]`.
+    pub lon: f64,
+}
+
+impl LatLon {
+    /// Create a coordinate; latitude is clamped to the Mercator-valid range.
+    pub fn new(lat: f64, lon: f64) -> Self {
+        LatLon {
+            lat: lat.clamp(-85.051_128_78, 85.051_128_78),
+            lon,
+        }
+    }
+
+    /// Project to continuous world coordinates (zoom-0 256×256 square).
+    pub fn to_world(self) -> (f64, f64) {
+        let siny = (self.lat.to_radians()).sin().clamp(-0.9999, 0.9999);
+        let x = 256.0 * (0.5 + self.lon / 360.0);
+        let y = 256.0 * (0.5 - ((1.0 + siny) / (1.0 - siny)).ln() / (4.0 * std::f64::consts::PI));
+        (x, y)
+    }
+
+    /// Discretize to integer pixel coordinates at zoom `zoom` — the paper's
+    /// "pixelization" denoising step.
+    pub fn to_pixel(self, zoom: u8) -> PixelCoord {
+        let (wx, wy) = self.to_world();
+        let scale = (1u64 << zoom) as f64;
+        PixelCoord {
+            x: (wx * scale).floor() as i64,
+            y: (wy * scale).floor() as i64,
+            zoom,
+        }
+    }
+
+    /// Ground resolution (meters per pixel) at this latitude and `zoom`.
+    pub fn meters_per_pixel(self, zoom: u8) -> f64 {
+        let circumference = 2.0 * std::f64::consts::PI * EARTH_RADIUS_M;
+        circumference * self.lat.to_radians().cos() / (256.0 * (1u64 << zoom) as f64)
+    }
+
+    /// Convert to local tangent-plane meters around `frame`'s origin.
+    pub fn to_local(self, frame: &LocalFrame) -> Point2 {
+        frame.to_local(self)
+    }
+}
+
+/// An integer Google-Maps pixel coordinate at a given zoom level.
+///
+/// These are the `(X, Y)` geolocation coordinates used as the `L` feature
+/// group (Table 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PixelCoord {
+    /// Pixel column (west → east).
+    pub x: i64,
+    /// Pixel row (north → south; Mercator Y grows southward).
+    pub y: i64,
+    /// Zoom level the pixel grid is defined at.
+    pub zoom: u8,
+}
+
+impl PixelCoord {
+    /// Center of this pixel back in WGS84.
+    pub fn center_latlon(self) -> LatLon {
+        let scale = (1u64 << self.zoom) as f64;
+        let wx = (self.x as f64 + 0.5) / scale;
+        let wy = (self.y as f64 + 0.5) / scale;
+        let lon = (wx / 256.0 - 0.5) * 360.0;
+        let n = std::f64::consts::PI * (1.0 - 2.0 * wy / 256.0);
+        let lat = (n.sinh()).atan().to_degrees();
+        LatLon::new(lat, lon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minneapolis downtown, roughly where the paper's Loop area is.
+    const MPLS: LatLon = LatLon {
+        lat: 44.9778,
+        lon: -93.2650,
+    };
+
+    #[test]
+    fn world_origin_is_center() {
+        let (x, y) = LatLon::new(0.0, 0.0).to_world();
+        assert!((x - 128.0).abs() < 1e-9);
+        assert!((y - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn world_x_scales_linearly_with_lon() {
+        let (x, _) = LatLon::new(0.0, 90.0).to_world();
+        assert!((x - 192.0).abs() < 1e-9);
+        let (x, _) = LatLon::new(0.0, -180.0).to_world();
+        assert!(x.abs() < 1e-9);
+    }
+
+    #[test]
+    fn pixel_roundtrip_stays_within_one_pixel() {
+        let px = MPLS.to_pixel(ZOOM_PAPER);
+        let back = px.center_latlon();
+        let res = MPLS.meters_per_pixel(ZOOM_PAPER);
+        // Distance between original and pixel center must be < 1 pixel diagonal.
+        let frame = LocalFrame::new(MPLS);
+        let p = back.to_local(&frame);
+        let d = (p.x * p.x + p.y * p.y).sqrt();
+        assert!(d <= res * std::f64::consts::SQRT_2, "d = {d}, res = {res}");
+    }
+
+    #[test]
+    fn zoom17_resolution_near_one_meter_at_equator() {
+        let res = LatLon::new(0.0, 0.0).meters_per_pixel(17);
+        // Paper/Google: 1.1943 m per pixel at the equator for zoom 17.
+        assert!((res - 1.194_3).abs() < 1e-3, "res = {res}");
+    }
+
+    #[test]
+    fn zoom17_resolution_sub_meter_in_minneapolis() {
+        let res = MPLS.meters_per_pixel(17);
+        assert!(res > 0.7 && res < 1.0, "res = {res}");
+    }
+
+    #[test]
+    fn latitude_is_clamped_to_mercator_domain() {
+        let p = LatLon::new(89.9, 0.0);
+        assert!(p.lat < 85.06);
+    }
+
+    #[test]
+    fn nearby_points_share_or_neighbor_pixels() {
+        let a = MPLS;
+        let frame = LocalFrame::new(a);
+        let b = frame.to_latlon(Point2 { x: 0.4, y: 0.4 });
+        let pa = a.to_pixel(ZOOM_PAPER);
+        let pb = b.to_pixel(ZOOM_PAPER);
+        assert!((pa.x - pb.x).abs() <= 1 && (pa.y - pb.y).abs() <= 1);
+    }
+}

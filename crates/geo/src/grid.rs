@@ -1,0 +1,118 @@
+//! Fixed-size square grids over the local plane.
+//!
+//! The throughput maps in Fig 6 aggregate samples per **2 m × 2 m** cell and
+//! the per-geolocation statistics in §4.1 are computed per cell. `GridIndex`
+//! maps local-plane points to integer cells; `GridCell` is the hashable key.
+
+use crate::local::Point2;
+use std::collections::HashMap;
+
+/// Integer cell key of a square grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GridCell {
+    /// Column index (east).
+    pub i: i64,
+    /// Row index (north).
+    pub j: i64,
+}
+
+/// A square binning of the local plane with a fixed cell size.
+#[derive(Debug, Clone, Copy)]
+pub struct GridIndex {
+    cell_size_m: f64,
+}
+
+impl GridIndex {
+    /// Grid with `cell_size_m`-meter cells. Panics if the size is not
+    /// strictly positive (a programming error, not a data condition).
+    pub fn new(cell_size_m: f64) -> Self {
+        assert!(
+            cell_size_m > 0.0 && cell_size_m.is_finite(),
+            "grid cell size must be positive"
+        );
+        GridIndex { cell_size_m }
+    }
+
+    /// The paper's 2 m throughput-map grid.
+    pub fn paper_map_grid() -> Self {
+        GridIndex::new(2.0)
+    }
+
+    /// Cell size in meters.
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size_m
+    }
+
+    /// Cell containing `p`.
+    pub fn cell_of(&self, p: Point2) -> GridCell {
+        GridCell {
+            i: (p.x / self.cell_size_m).floor() as i64,
+            j: (p.y / self.cell_size_m).floor() as i64,
+        }
+    }
+
+    /// Center point of a cell.
+    pub fn center_of(&self, c: GridCell) -> Point2 {
+        Point2 {
+            x: (c.i as f64 + 0.5) * self.cell_size_m,
+            y: (c.j as f64 + 0.5) * self.cell_size_m,
+        }
+    }
+
+    /// Group `(position, value)` samples by cell.
+    pub fn group<'a, I>(&self, samples: I) -> HashMap<GridCell, Vec<f64>>
+    where
+        I: IntoIterator<Item = (Point2, f64)>,
+    {
+        let mut map: HashMap<GridCell, Vec<f64>> = HashMap::new();
+        for (p, v) in samples {
+            map.entry(self.cell_of(p)).or_default().push(v);
+        }
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn points_in_same_cell_share_key() {
+        let g = GridIndex::new(2.0);
+        assert_eq!(g.cell_of(Point2::new(0.1, 0.1)), g.cell_of(Point2::new(1.9, 1.9)));
+    }
+
+    #[test]
+    fn cell_boundaries_split() {
+        let g = GridIndex::new(2.0);
+        assert_ne!(g.cell_of(Point2::new(1.9, 0.0)), g.cell_of(Point2::new(2.1, 0.0)));
+    }
+
+    #[test]
+    fn negative_coordinates_floor_correctly() {
+        let g = GridIndex::new(2.0);
+        assert_eq!(g.cell_of(Point2::new(-0.1, -0.1)), GridCell { i: -1, j: -1 });
+    }
+
+    #[test]
+    fn center_is_inside_cell() {
+        let g = GridIndex::new(2.0);
+        let c = GridCell { i: 3, j: -2 };
+        let center = g.center_of(c);
+        assert_eq!(g.cell_of(center), c);
+    }
+
+    #[test]
+    fn group_collects_values_per_cell() {
+        let g = GridIndex::new(2.0);
+        let samples = vec![
+            (Point2::new(0.5, 0.5), 1.0),
+            (Point2::new(1.0, 1.0), 2.0),
+            (Point2::new(3.0, 0.5), 9.0),
+        ];
+        let m = g.group(samples);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[&GridCell { i: 0, j: 0 }], vec![1.0, 2.0]);
+        assert_eq!(m[&GridCell { i: 1, j: 0 }], vec![9.0]);
+    }
+}

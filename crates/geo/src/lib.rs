@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # lumos5g-geo
+//!
+//! Geospatial substrate for the Lumos5G reproduction.
+//!
+//! The paper's measurement methodology (§3.1) and feature engineering (§5.1)
+//! are geometric at heart:
+//!
+//! - raw GPS fixes are **pixelized** to Google-Maps pixel coordinates at zoom
+//!   level 17 (≈1 m spatial resolution) to denoise locations;
+//! - throughput maps aggregate samples on a **2 m × 2 m grid** (Fig 6);
+//! - the tower-based feature group `T` is built from the **UE–panel
+//!   distance**, the **positional angle θp** and the **mobility angle θm**
+//!   (Fig 5), all functions of UE position, UE heading and panel pose.
+//!
+//! This crate implements those primitives:
+//! - [`coords`]: WGS84 ↔ Web-Mercator world/pixel coordinates per zoom level.
+//! - [`local`]: a local tangent-plane frame in meters (areas are ≤ ~1.5 km).
+//! - [`angle`]: azimuth/bearing arithmetic on the compass circle.
+//! - [`panel`]: θp / θm / distance geometry between a UE and a 5G panel.
+//! - [`grid`]: fixed-size square binning for throughput maps.
+//! - [`trajectory`]: polylines with arc-length parameterization for walks.
+
+pub mod angle;
+pub mod coords;
+pub mod grid;
+pub mod local;
+pub mod panel;
+pub mod trajectory;
+
+pub use angle::{bearing_deg, fold_angle_deg, normalize_deg, signed_delta_deg};
+pub use coords::{LatLon, PixelCoord, ZOOM_PAPER};
+pub use grid::{GridCell, GridIndex};
+pub use local::{LocalFrame, Point2};
+pub use panel::{mobility_angle_deg, positional_angle_deg, PanelPose, PositionSector};
+pub use trajectory::Polyline;

@@ -1,0 +1,134 @@
+//! Local tangent-plane frame.
+//!
+//! All three measurement areas in the paper span at most ~1.5 km, so an
+//! equirectangular east-north plane anchored at an area origin is accurate to
+//! well under GPS noise (<< 1 cm over 1 km at mid latitudes). The simulator
+//! and the geometric feature computations all work in this frame; WGS84 only
+//! appears at the logging boundary.
+
+use crate::coords::{LatLon, EARTH_RADIUS_M};
+
+/// A point in a local east-north frame, meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point2 {
+    /// East offset from the frame origin, meters.
+    pub x: f64,
+    /// North offset from the frame origin, meters.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// Construct from east/north meters.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point2) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Vector addition.
+    pub fn add(self, dx: f64, dy: f64) -> Point2 {
+        Point2 {
+            x: self.x + dx,
+            y: self.y + dy,
+        }
+    }
+
+    /// Linear interpolation: `self + t · (other − self)`.
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        Point2 {
+            x: self.x + t * (other.x - self.x),
+            y: self.y + t * (other.y - self.y),
+        }
+    }
+}
+
+/// An equirectangular local frame anchored at a WGS84 origin.
+#[derive(Debug, Clone, Copy)]
+pub struct LocalFrame {
+    origin: LatLon,
+    /// Meters per degree of longitude at the origin latitude.
+    m_per_deg_lon: f64,
+    /// Meters per degree of latitude.
+    m_per_deg_lat: f64,
+}
+
+impl LocalFrame {
+    /// Create a frame anchored at `origin`.
+    pub fn new(origin: LatLon) -> Self {
+        let m_per_deg_lat = std::f64::consts::PI * EARTH_RADIUS_M / 180.0;
+        LocalFrame {
+            origin,
+            m_per_deg_lon: m_per_deg_lat * origin.lat.to_radians().cos(),
+            m_per_deg_lat,
+        }
+    }
+
+    /// The WGS84 anchor of this frame.
+    pub fn origin(&self) -> LatLon {
+        self.origin
+    }
+
+    /// WGS84 → local meters.
+    pub fn to_local(&self, p: LatLon) -> Point2 {
+        Point2 {
+            x: (p.lon - self.origin.lon) * self.m_per_deg_lon,
+            y: (p.lat - self.origin.lat) * self.m_per_deg_lat,
+        }
+    }
+
+    /// Local meters → WGS84.
+    pub fn to_latlon(&self, p: Point2) -> LatLon {
+        LatLon::new(
+            self.origin.lat + p.y / self.m_per_deg_lat,
+            self.origin.lon + p.x / self.m_per_deg_lon,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mpls() -> LatLon {
+        LatLon::new(44.9778, -93.2650)
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let frame = LocalFrame::new(mpls());
+        let p = Point2::new(123.4, -56.7);
+        let back = frame.to_local(frame.to_latlon(p));
+        assert!((back.x - p.x).abs() < 1e-9);
+        assert!((back.y - p.y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_degree_latitude_is_about_111km() {
+        let frame = LocalFrame::new(mpls());
+        let p = frame.to_local(LatLon::new(45.9778, -93.2650));
+        assert!((p.y - 111_319.49).abs() < 1.0);
+        assert!(p.x.abs() < 1e-9);
+    }
+
+    #[test]
+    fn longitude_scale_shrinks_with_latitude() {
+        let frame = LocalFrame::new(mpls());
+        let p = frame.to_local(LatLon::new(44.9778, -93.2550));
+        // cos(44.98°) ≈ 0.7074 → ~787 m per 0.01°.
+        assert!(p.x > 700.0 && p.x < 900.0, "x = {}", p.x);
+    }
+
+    #[test]
+    fn distance_and_lerp() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        let mid = a.lerp(b, 0.5);
+        assert!((mid.x - 1.5).abs() < 1e-12 && (mid.y - 2.0).abs() < 1e-12);
+    }
+}

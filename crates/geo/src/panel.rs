@@ -1,0 +1,183 @@
+//! UE ↔ 5G-panel geometry: the tower-based feature group `T`.
+//!
+//! Per Fig 5 and §4.3–§4.5 of the paper:
+//!
+//! - **UE–panel distance**: Euclidean distance in the local plane.
+//! - **Positional angle θp**: angle between the line normal to the panel's
+//!   front face and the line from the panel to the UE. θp ≈ 0° means the UE
+//!   is directly in front ("F"), θp ≈ 180° behind ("B"), with left/right
+//!   sectors in between (Fig 12).
+//! - **Mobility angle θm**: angle between the panel normal and the UE's
+//!   trajectory. θm = 180° means the UE moves head-on toward the panel's
+//!   face; θm = 0° means it moves in the same direction the panel faces
+//!   (so a hand-held UE is shadowed by the user's body — §4.4).
+//!
+//! Both angles are reported on the full circle `[0°, 360°)` like the paper's
+//! appendix bins (e.g. "[210°, 240°)"), with a folded `[0°, 180°]` variant
+//! for magnitude-only uses.
+
+use crate::angle::{bearing_deg, normalize_deg};
+use crate::local::Point2;
+
+/// Pose of a 5G mmWave panel: where it is and which way its face points.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PanelPose {
+    /// Panel position in the area's local frame, meters.
+    pub position: Point2,
+    /// Compass azimuth of the outward normal of the front face, degrees
+    /// (0° = North, clockwise).
+    pub azimuth_deg: f64,
+}
+
+impl PanelPose {
+    /// Construct a pose, normalizing the azimuth to `[0, 360)`.
+    pub fn new(position: Point2, azimuth_deg: f64) -> Self {
+        PanelPose {
+            position,
+            azimuth_deg: normalize_deg(azimuth_deg),
+        }
+    }
+
+    /// UE–panel distance in meters.
+    pub fn distance_to(&self, ue: Point2) -> f64 {
+        self.position.distance(ue)
+    }
+}
+
+/// Positional angle θp ∈ [0°, 360°): bearing of the UE as seen from the
+/// panel, measured from the panel's facing direction, clockwise.
+pub fn positional_angle_deg(panel: &PanelPose, ue: Point2) -> f64 {
+    let bearing_to_ue = bearing_deg(panel.position.x, panel.position.y, ue.x, ue.y);
+    normalize_deg(bearing_to_ue - panel.azimuth_deg)
+}
+
+/// Mobility angle θm ∈ [0°, 360°): the UE's travel heading measured from the
+/// panel's facing direction, clockwise. `ue_heading_deg` is the UE's compass
+/// direction of travel.
+///
+/// θm = 0° ⇒ moving the same way the panel faces (walking away, body
+/// blockage for a hand-held phone); θm = 180° ⇒ moving head-on toward the
+/// panel's face.
+pub fn mobility_angle_deg(panel: &PanelPose, ue_heading_deg: f64) -> f64 {
+    normalize_deg(ue_heading_deg - panel.azimuth_deg)
+}
+
+/// Coarse position sector relative to the panel face (Fig 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PositionSector {
+    /// In front of the panel (θp within ±45° of the normal).
+    Front,
+    /// To the panel's right (θp ∈ [45°, 135°)).
+    Right,
+    /// Behind the panel (θp within 180° ± 45°).
+    Back,
+    /// To the panel's left (θp ∈ [225°, 315°)).
+    Left,
+}
+
+impl PositionSector {
+    /// Classify a positional angle into the four Fig-12 sectors.
+    pub fn from_theta_p(theta_p_deg: f64) -> Self {
+        let a = normalize_deg(theta_p_deg);
+        if !(45.0..315.0).contains(&a) {
+            PositionSector::Front
+        } else if a < 135.0 {
+            PositionSector::Right
+        } else if a < 225.0 {
+            PositionSector::Back
+        } else {
+            PositionSector::Left
+        }
+    }
+
+    /// One-letter label used in Fig 13 ("F", "L", "R", "B").
+    pub fn label(self) -> &'static str {
+        match self {
+            PositionSector::Front => "F",
+            PositionSector::Right => "R",
+            PositionSector::Back => "B",
+            PositionSector::Left => "L",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-9;
+
+    /// Panel at the origin facing north.
+    fn north_panel() -> PanelPose {
+        PanelPose::new(Point2::new(0.0, 0.0), 0.0)
+    }
+
+    #[test]
+    fn theta_p_zero_directly_in_front() {
+        let p = north_panel();
+        let ue = Point2::new(0.0, 50.0); // due north of a north-facing panel
+        assert!(positional_angle_deg(&p, ue).abs() < EPS);
+    }
+
+    #[test]
+    fn theta_p_180_directly_behind() {
+        let p = north_panel();
+        let ue = Point2::new(0.0, -50.0);
+        assert!((positional_angle_deg(&p, ue) - 180.0).abs() < EPS);
+    }
+
+    #[test]
+    fn theta_p_90_to_the_right() {
+        let p = north_panel();
+        let ue = Point2::new(50.0, 0.0); // due east
+        assert!((positional_angle_deg(&p, ue) - 90.0).abs() < EPS);
+    }
+
+    #[test]
+    fn theta_p_accounts_for_panel_azimuth() {
+        // Panel facing east; UE due east ⇒ directly in front.
+        let p = PanelPose::new(Point2::new(0.0, 0.0), 90.0);
+        let ue = Point2::new(50.0, 0.0);
+        assert!(positional_angle_deg(&p, ue).abs() < EPS);
+    }
+
+    #[test]
+    fn theta_m_convention_matches_paper() {
+        // Paper (Fig 8): θm = 180° when moving head-on toward the panel's
+        // face. A north-facing panel is approached head-on by walking due
+        // south (heading 180°).
+        let p = north_panel();
+        assert!((mobility_angle_deg(&p, 180.0) - 180.0).abs() < EPS);
+        // θm = 0° when walking the same direction the panel faces (north):
+        // the user's body then shadows the UE (§4.4).
+        assert!(mobility_angle_deg(&p, 0.0).abs() < EPS);
+    }
+
+    #[test]
+    fn theta_m_rotates_with_panel_azimuth() {
+        // East-facing panel approached head-on by walking west (270°).
+        let p = PanelPose::new(Point2::new(0.0, 0.0), 90.0);
+        assert!((mobility_angle_deg(&p, 270.0) - 180.0).abs() < EPS);
+    }
+
+    #[test]
+    fn sector_classification() {
+        assert_eq!(PositionSector::from_theta_p(10.0), PositionSector::Front);
+        assert_eq!(PositionSector::from_theta_p(350.0), PositionSector::Front);
+        assert_eq!(PositionSector::from_theta_p(90.0), PositionSector::Right);
+        assert_eq!(PositionSector::from_theta_p(180.0), PositionSector::Back);
+        assert_eq!(PositionSector::from_theta_p(270.0), PositionSector::Left);
+    }
+
+    #[test]
+    fn sector_labels() {
+        assert_eq!(PositionSector::Front.label(), "F");
+        assert_eq!(PositionSector::Back.label(), "B");
+    }
+
+    #[test]
+    fn distance_matches_euclidean() {
+        let p = PanelPose::new(Point2::new(1.0, 2.0), 45.0);
+        assert!((p.distance_to(Point2::new(4.0, 6.0)) - 5.0).abs() < EPS);
+    }
+}

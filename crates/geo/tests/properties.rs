@@ -1,0 +1,104 @@
+//! Property-based tests of the geospatial substrate.
+
+use lumos5g_geo::{
+    bearing_deg, fold_angle_deg, normalize_deg, signed_delta_deg, GridIndex, LatLon, LocalFrame,
+    Point2, Polyline,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn signed_delta_is_antisymmetric(a in 0.0f64..360.0, b in 0.0f64..360.0) {
+        let d1 = signed_delta_deg(a, b);
+        let d2 = signed_delta_deg(b, a);
+        // d1 = −d2, except the ±180 tie which both map to +180.
+        if d1.abs() < 179.999 {
+            prop_assert!((d1 + d2).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn delta_composition_consistent(a in 0.0f64..360.0, b in 0.0f64..360.0) {
+        let d = signed_delta_deg(a, b);
+        prop_assert!((normalize_deg(a + d) - normalize_deg(b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bearing_reverse_differs_by_180(
+        x1 in -1e3f64..1e3, y1 in -1e3f64..1e3,
+        x2 in -1e3f64..1e3, y2 in -1e3f64..1e3,
+    ) {
+        prop_assume!((x1 - x2).abs() > 1e-6 || (y1 - y2).abs() > 1e-6);
+        let fwd = bearing_deg(x1, y1, x2, y2);
+        let back = bearing_deg(x2, y2, x1, y1);
+        prop_assert!((fold_angle_deg(fwd - back) - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mercator_world_coords_in_range(lat in -85.0f64..85.0, lon in -180.0f64..180.0) {
+        let (x, y) = LatLon::new(lat, lon).to_world();
+        prop_assert!((0.0..=256.0).contains(&x));
+        prop_assert!((0.0..=256.0).contains(&y));
+    }
+
+    #[test]
+    fn pixelization_is_idempotent(lat in 40.0f64..50.0, lon in -100.0f64..-80.0) {
+        let p = LatLon::new(lat, lon);
+        let px = p.to_pixel(17);
+        let px2 = px.center_latlon().to_pixel(17);
+        prop_assert_eq!(px, px2);
+    }
+
+    #[test]
+    fn polyline_point_at_stays_near_vertex_hull(
+        pts in prop::collection::vec((-500.0f64..500.0, -500.0f64..500.0), 2..10),
+        s in 0.0f64..5000.0,
+    ) {
+        let points: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+        let pl = Polyline::new(points.clone());
+        let p = pl.point_at(s);
+        let min_x = pts.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let max_x = pts.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        let min_y = pts.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let max_y = pts.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(p.x >= min_x - 1e-9 && p.x <= max_x + 1e-9);
+        prop_assert!(p.y >= min_y - 1e-9 && p.y <= max_y + 1e-9);
+    }
+
+    #[test]
+    fn polyline_length_at_least_endpoint_distance(
+        pts in prop::collection::vec((-500.0f64..500.0, -500.0f64..500.0), 2..10),
+    ) {
+        let points: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
+        let direct = points[0].distance(*points.last().unwrap());
+        let pl = Polyline::new(points);
+        prop_assert!(pl.length() + 1e-9 >= direct);
+    }
+
+    #[test]
+    fn grid_neighbors_are_adjacent(
+        x in -1e4f64..1e4, y in -1e4f64..1e4,
+        dx in -1.9f64..1.9, dy in -1.9f64..1.9,
+    ) {
+        let g = GridIndex::new(2.0);
+        let c1 = g.cell_of(Point2::new(x, y));
+        let c2 = g.cell_of(Point2::new(x + dx, y + dy));
+        prop_assert!((c1.i - c2.i).abs() <= 1 && (c1.j - c2.j).abs() <= 1);
+    }
+
+    #[test]
+    fn local_frame_distance_matches_geodesic_scale(
+        lat in 44.0f64..46.0,
+        dx in -1000.0f64..1000.0,
+        dy in -1000.0f64..1000.0,
+    ) {
+        // Converting two nearby local points through WGS84 and back must
+        // preserve their separation to sub-millimeter.
+        let frame = LocalFrame::new(LatLon::new(lat, -93.0));
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(dx, dy);
+        let a2 = frame.to_local(frame.to_latlon(a));
+        let b2 = frame.to_local(frame.to_latlon(b));
+        prop_assert!((a2.distance(b2) - a.distance(b)).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,190 @@
+//! Random Forest — the strongest 3G/4G baseline in the paper (Alimpertis et
+//! al. \[20\] built city-wide LTE signal-strength maps with it; the paper runs
+//! it in Tables 4, 9, 10 and Fig 23).
+//!
+//! Standard Breiman forests: bootstrap rows per tree plus a random feature
+//! subspace per split; regression averages leaf means, classification takes
+//! a majority vote.
+
+use crate::tree::{ClassificationTree, RegressionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Depth bound per tree.
+    pub max_depth: usize,
+    /// Minimum samples per leaf.
+    pub min_samples_leaf: usize,
+    /// Features tried per split; `None` = √d for classification, d/3 for
+    /// regression (the conventional defaults).
+    pub max_features: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 100,
+            max_depth: 12,
+            min_samples_leaf: 2,
+            max_features: None,
+            seed: 0,
+        }
+    }
+}
+
+fn bootstrap(n: usize, rng: &mut StdRng) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(0..n)).collect()
+}
+
+/// Bagged regression forest.
+#[derive(Debug, Clone)]
+pub struct RandomForestRegressor {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForestRegressor {
+    /// Fit on `(xs, ys)`.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], cfg: &ForestConfig) -> Self {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        assert!(!xs.is_empty(), "cannot fit forest on empty data");
+        let d = xs[0].len();
+        let max_features = cfg.max_features.unwrap_or(((d + 2) / 3).max(1));
+        let tree_cfg = TreeConfig {
+            max_depth: cfg.max_depth,
+            min_samples_leaf: cfg.min_samples_leaf,
+            min_samples_split: cfg.min_samples_leaf * 2,
+            max_features: Some(max_features),
+        };
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let trees = (0..cfg.n_trees)
+            .map(|_| {
+                let rows = bootstrap(xs.len(), &mut rng);
+                let bx: Vec<Vec<f64>> = rows.iter().map(|&i| xs[i].clone()).collect();
+                let by: Vec<f64> = rows.iter().map(|&i| ys[i]).collect();
+                let g: Vec<f64> = by.iter().map(|y| -y).collect();
+                let h = vec![1.0; by.len()];
+                RegressionTree::fit_gradients(&bx, &g, &h, &tree_cfg, Some(&mut rng))
+            })
+            .collect();
+        RandomForestRegressor { trees }
+    }
+
+    /// Average of tree predictions for one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Predict many rows.
+    pub fn predict(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|r| self.predict_row(r)).collect()
+    }
+}
+
+/// Bagged classification forest with majority vote.
+#[derive(Debug, Clone)]
+pub struct RandomForestClassifier {
+    trees: Vec<ClassificationTree>,
+    n_classes: usize,
+}
+
+impl RandomForestClassifier {
+    /// Fit on labels in `0..n_classes`.
+    pub fn fit(xs: &[Vec<f64>], ys: &[usize], n_classes: usize, cfg: &ForestConfig) -> Self {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        assert!(!xs.is_empty(), "cannot fit forest on empty data");
+        let d = xs[0].len();
+        let max_features = cfg
+            .max_features
+            .unwrap_or(((d as f64).sqrt().round() as usize).max(1));
+        let tree_cfg = TreeConfig {
+            max_depth: cfg.max_depth,
+            min_samples_leaf: cfg.min_samples_leaf,
+            min_samples_split: cfg.min_samples_leaf * 2,
+            max_features: Some(max_features),
+        };
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let trees = (0..cfg.n_trees)
+            .map(|_| {
+                let rows = bootstrap(xs.len(), &mut rng);
+                let bx: Vec<Vec<f64>> = rows.iter().map(|&i| xs[i].clone()).collect();
+                let by: Vec<usize> = rows.iter().map(|&i| ys[i]).collect();
+                ClassificationTree::fit(&bx, &by, n_classes, &tree_cfg, Some(&mut rng))
+            })
+            .collect();
+        RandomForestClassifier { trees, n_classes }
+    }
+
+    /// Majority vote for one row.
+    pub fn predict_row(&self, row: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.n_classes];
+        for t in &self.trees {
+            votes[t.predict_row(row)] += 1;
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(c, _)| c)
+            .expect("at least one class")
+    }
+
+    /// Predict many rows.
+    pub fn predict(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|r| self.predict_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{mae, weighted_f1};
+
+    fn quick() -> ForestConfig {
+        ForestConfig {
+            n_trees: 30,
+            max_depth: 8,
+            min_samples_leaf: 1,
+            max_features: None,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn regressor_fits_smooth_function() {
+        let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 20.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (x[0]).sin() * 10.0).collect();
+        let m = RandomForestRegressor::fit(&xs, &ys, &quick());
+        assert!(mae(&ys, &m.predict(&xs)) < 1.0);
+    }
+
+    #[test]
+    fn regressor_is_deterministic_per_seed() {
+        let xs: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..50).map(|i| i as f64 * 2.0).collect();
+        let a = RandomForestRegressor::fit(&xs, &ys, &quick());
+        let b = RandomForestRegressor::fit(&xs, &ys, &quick());
+        assert_eq!(a.predict_row(&[25.0]), b.predict_row(&[25.0]));
+    }
+
+    #[test]
+    fn classifier_separates_bands() {
+        let xs: Vec<Vec<f64>> = (0..150).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let ys: Vec<usize> = (0..150).map(|i| i / 50).collect();
+        let m = RandomForestClassifier::fit(&xs, &ys, 3, &quick());
+        assert!(weighted_f1(&ys, &m.predict(&xs), 3) > 0.95);
+    }
+
+    #[test]
+    fn classifier_handles_single_class_gracefully() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys = vec![1usize; 20];
+        let m = RandomForestClassifier::fit(&xs, &ys, 3, &quick());
+        assert_eq!(m.predict_row(&[3.0]), 1);
+    }
+}

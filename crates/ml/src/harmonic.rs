@@ -1,0 +1,136 @@
+//! Harmonic-mean history predictor (FESTIVE \[38\], MPC \[64\]).
+//!
+//! The classic short-term ABR throughput estimator: the prediction for the
+//! next slot is the harmonic mean of the last `w` observed throughputs. The
+//! harmonic mean damps the effect of transient spikes, which works on 4G but
+//! "suffers due to the wild and frequent fluctuations in mmWave 5G
+//! throughput" (§6.3, Table 9 bottom).
+
+/// Sliding-window harmonic-mean predictor.
+#[derive(Debug, Clone)]
+pub struct HarmonicMeanPredictor {
+    window: usize,
+    history: Vec<f64>,
+}
+
+impl HarmonicMeanPredictor {
+    /// Create with window length `window` (the literature uses 5–20).
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        HarmonicMeanPredictor {
+            window,
+            history: Vec::new(),
+        }
+    }
+
+    /// Record an observed throughput sample (non-positive samples are kept
+    /// as a small epsilon so the harmonic mean remains defined through
+    /// outages).
+    pub fn observe(&mut self, throughput: f64) {
+        self.history.push(throughput.max(1e-6));
+        if self.history.len() > self.window {
+            self.history.remove(0);
+        }
+    }
+
+    /// Predict the next-slot throughput; `None` until at least one sample
+    /// has been observed.
+    pub fn predict(&self) -> Option<f64> {
+        if self.history.is_empty() {
+            return None;
+        }
+        let inv_sum: f64 = self.history.iter().map(|t| 1.0 / t).sum();
+        Some(self.history.len() as f64 / inv_sum)
+    }
+
+    /// One-shot evaluation over a trace: returns `(truth, prediction)` pairs
+    /// for every step where a prediction was available.
+    pub fn eval_trace(trace: &[f64], window: usize) -> Vec<(f64, f64)> {
+        let mut p = HarmonicMeanPredictor::new(window);
+        let mut out = Vec::new();
+        for &t in trace {
+            if let Some(pred) = p.predict() {
+                out.push((t, pred));
+            }
+            p.observe(t);
+        }
+        out
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.history.len()
+    }
+
+    /// True when no samples have been observed.
+    pub fn is_empty(&self) -> bool {
+        self.history.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_prediction_before_first_sample() {
+        let p = HarmonicMeanPredictor::new(5);
+        assert!(p.predict().is_none());
+    }
+
+    #[test]
+    fn constant_trace_predicts_the_constant() {
+        let mut p = HarmonicMeanPredictor::new(5);
+        for _ in 0..10 {
+            p.observe(100.0);
+        }
+        assert!((p.predict().unwrap() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_mean_of_two_values() {
+        let mut p = HarmonicMeanPredictor::new(5);
+        p.observe(100.0);
+        p.observe(300.0);
+        // HM(100, 300) = 2 / (1/100 + 1/300) = 150.
+        assert!((p.predict().unwrap() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn window_slides() {
+        let mut p = HarmonicMeanPredictor::new(2);
+        p.observe(1.0);
+        p.observe(100.0);
+        p.observe(100.0);
+        // First sample fell out of the window.
+        assert!((p.predict().unwrap() - 100.0).abs() < 1e-9);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn hm_is_dominated_by_small_values() {
+        let mut p = HarmonicMeanPredictor::new(5);
+        for &v in &[1000.0, 1000.0, 1000.0, 1000.0, 10.0] {
+            p.observe(v);
+        }
+        // One near-outage drags the harmonic mean far below the mean.
+        assert!(p.predict().unwrap() < 100.0);
+    }
+
+    #[test]
+    fn zero_samples_do_not_poison_the_window() {
+        let mut p = HarmonicMeanPredictor::new(3);
+        p.observe(0.0);
+        p.observe(500.0);
+        let pred = p.predict().unwrap();
+        assert!(pred.is_finite() && pred >= 0.0);
+    }
+
+    #[test]
+    fn eval_trace_aligns_truth_and_prediction() {
+        let pairs = HarmonicMeanPredictor::eval_trace(&[10.0, 20.0, 30.0], 2);
+        assert_eq!(pairs.len(), 2);
+        assert!((pairs[0].0 - 20.0).abs() < 1e-12); // truth at t=1
+        assert!((pairs[0].1 - 10.0).abs() < 1e-12); // HM of [10]
+    }
+}

@@ -1,0 +1,300 @@
+//! Static k-d tree for nearest-neighbour queries.
+//!
+//! Used by the KNN baseline (low-dimensional feature sets) and by local
+//! Ordinary Kriging (2-D coordinates), replacing O(n) scans with
+//! O(log n)-ish searches. Built once over the training set by recursive
+//! median splits on the widest dimension.
+//!
+//! k-d trees degrade toward linear scans as dimensionality grows; callers
+//! should prefer brute force beyond ~8 dimensions (see [`KdTree::knn`]'s
+//! docs) — `KnnRegressor`/`KnnClassifier` make that choice automatically.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A neighbour candidate in the query max-heap, ordered by distance.
+#[derive(Debug, PartialEq)]
+struct Candidate {
+    dist_sq: f64,
+    index: usize,
+}
+
+impl Eq for Candidate {}
+
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist_sq
+            .partial_cmp(&other.dist_sq)
+            .expect("finite distances")
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Indices into the point set.
+        points: Vec<usize>,
+    },
+    Split {
+        axis: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A balanced, static k-d tree over points of uniform dimension.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    points: Vec<Vec<f64>>,
+    root: usize,
+    /// Max points per leaf.
+    leaf_size: usize,
+}
+
+impl KdTree {
+    /// Build over `points` (all rows must share a dimension ≥ 1).
+    pub fn build(points: Vec<Vec<f64>>) -> Self {
+        assert!(!points.is_empty(), "cannot build a kd-tree on no points");
+        let dim = points[0].len();
+        assert!(dim >= 1, "points must have at least one dimension");
+        assert!(
+            points.iter().all(|p| p.len() == dim),
+            "ragged point set"
+        );
+        let mut tree = KdTree {
+            nodes: Vec::new(),
+            points,
+            root: 0,
+            leaf_size: 16,
+        };
+        let idx: Vec<usize> = (0..tree.points.len()).collect();
+        tree.root = tree.build_node(idx);
+        tree
+    }
+
+    fn build_node(&mut self, mut idx: Vec<usize>) -> usize {
+        if idx.len() <= self.leaf_size {
+            self.nodes.push(Node::Leaf { points: idx });
+            return self.nodes.len() - 1;
+        }
+        // Split on the widest axis at the median.
+        let dim = self.points[0].len();
+        let mut best_axis = 0;
+        let mut best_spread = -1.0;
+        for axis in 0..dim {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &i in &idx {
+                let v = self.points[i][axis];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if hi - lo > best_spread {
+                best_spread = hi - lo;
+                best_axis = axis;
+            }
+        }
+        if best_spread <= 0.0 {
+            // All points identical: keep as one leaf.
+            self.nodes.push(Node::Leaf { points: idx });
+            return self.nodes.len() - 1;
+        }
+        let mid = idx.len() / 2;
+        idx.select_nth_unstable_by(mid, |&a, &b| {
+            self.points[a][best_axis]
+                .partial_cmp(&self.points[b][best_axis])
+                .expect("finite coordinates")
+        });
+        let threshold = self.points[idx[mid]][best_axis];
+        // Guard: with many duplicates the median split can be degenerate;
+        // partition strictly-less vs rest and bail to a leaf if one side
+        // is empty.
+        let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+            .iter()
+            .partition(|&&i| self.points[i][best_axis] < threshold);
+        if left_idx.is_empty() || right_idx.is_empty() {
+            self.nodes.push(Node::Leaf { points: idx });
+            return self.nodes.len() - 1;
+        }
+        let placeholder = self.nodes.len();
+        self.nodes.push(Node::Leaf { points: Vec::new() });
+        let left = self.build_node(left_idx);
+        let right = self.build_node(right_idx);
+        self.nodes[placeholder] = Node::Split {
+            axis: best_axis,
+            threshold,
+            left,
+            right,
+        };
+        placeholder
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when empty (construction forbids it, so always false).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Indices of the `k` nearest points to `query` (Euclidean), closest
+    /// first. `k` is clamped to the point count.
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<usize> {
+        assert_eq!(
+            query.len(),
+            self.points[0].len(),
+            "query dimension mismatch"
+        );
+        let k = k.max(1).min(self.points.len());
+        let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
+        self.search(self.root, query, k, &mut heap);
+        let mut out: Vec<Candidate> = heap.into_vec();
+        out.sort_by(|a, b| a.dist_sq.partial_cmp(&b.dist_sq).expect("finite"));
+        out.into_iter().map(|c| c.index).collect()
+    }
+
+    fn search(&self, node: usize, query: &[f64], k: usize, heap: &mut BinaryHeap<Candidate>) {
+        match &self.nodes[node] {
+            Node::Leaf { points } => {
+                for &i in points {
+                    let d = sq_dist(&self.points[i], query);
+                    if heap.len() < k {
+                        heap.push(Candidate { dist_sq: d, index: i });
+                    } else if d < heap.peek().expect("non-empty").dist_sq {
+                        heap.pop();
+                        heap.push(Candidate { dist_sq: d, index: i });
+                    }
+                }
+            }
+            Node::Split {
+                axis,
+                threshold,
+                left,
+                right,
+            } => {
+                let delta = query[*axis] - threshold;
+                let (near, far) = if delta < 0.0 { (*left, *right) } else { (*right, *left) };
+                self.search(near, query, k, heap);
+                // Prune the far side unless the splitting plane is closer
+                // than the current k-th distance.
+                let worst = heap
+                    .peek()
+                    .map(|c| c.dist_sq)
+                    .unwrap_or(f64::INFINITY);
+                if heap.len() < k || delta * delta < worst {
+                    self.search(far, query, k, heap);
+                }
+            }
+        }
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_knn(points: &[Vec<f64>], q: &[f64], k: usize) -> Vec<usize> {
+        let mut d: Vec<(f64, usize)> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (sq_dist(p, q), i))
+            .collect();
+        d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        d.into_iter().take(k).map(|(_, i)| i).collect()
+    }
+
+    fn grid_points() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..30 {
+            for j in 0..30 {
+                pts.push(vec![i as f64, j as f64 * 1.7]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn knn_matches_brute_force_on_grid() {
+        let pts = grid_points();
+        let tree = KdTree::build(pts.clone());
+        for q in [[3.2, 5.1], [29.0, 0.0], [-5.0, 80.0], [15.5, 24.9]] {
+            let got = tree.knn(&q, 7);
+            let want = brute_knn(&pts, &q, 7);
+            // Compare distances (ties may reorder indices).
+            let gd: Vec<f64> = got.iter().map(|&i| sq_dist(&pts[i], &q)).collect();
+            let wd: Vec<f64> = want.iter().map(|&i| sq_dist(&pts[i], &q)).collect();
+            for (a, b) in gd.iter().zip(&wd) {
+                assert!((a - b).abs() < 1e-12, "q={q:?}: {gd:?} vs {wd:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn knn_matches_brute_force_pseudo_random() {
+        // Deterministic scattered points in 4-D.
+        let pts: Vec<Vec<f64>> = (0..500)
+            .map(|i| {
+                (0..4)
+                    .map(|j| (((i * 2654435761u64 as usize + j * 40503) % 1000) as f64) / 10.0)
+                    .collect()
+            })
+            .collect();
+        let tree = KdTree::build(pts.clone());
+        for s in 0..10 {
+            let q: Vec<f64> = (0..4).map(|j| ((s * 97 + j * 13) % 100) as f64).collect();
+            let got = tree.knn(&q, 5);
+            let want = brute_knn(&pts, &q, 5);
+            let gd: Vec<f64> = got.iter().map(|&i| sq_dist(&pts[i], &q)).collect();
+            let wd: Vec<f64> = want.iter().map(|&i| sq_dist(&pts[i], &q)).collect();
+            for (a, b) in gd.iter().zip(&wd) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let tree = KdTree::build(vec![vec![0.0], vec![1.0], vec![2.0]]);
+        assert_eq!(tree.knn(&[0.9], 10).len(), 3);
+    }
+
+    #[test]
+    fn nearest_of_exact_point_is_itself() {
+        let pts = grid_points();
+        let tree = KdTree::build(pts.clone());
+        let got = tree.knn(&pts[137], 1);
+        assert_eq!(sq_dist(&pts[got[0]], &pts[137]), 0.0);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_build() {
+        let pts = vec![vec![1.0, 1.0]; 100];
+        let tree = KdTree::build(pts);
+        assert_eq!(tree.knn(&[0.0, 0.0], 3).len(), 3);
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let pts = grid_points();
+        let tree = KdTree::build(pts.clone());
+        let q = [12.3, 7.7];
+        let got = tree.knn(&q, 9);
+        let d: Vec<f64> = got.iter().map(|&i| sq_dist(&pts[i], &q)).collect();
+        for w in d.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Ordinary Kriging (OK) — geospatial interpolation baseline.
+//!
+//! Chakraborty et al. \[26\] build spectrum maps this way; the paper runs OK
+//! on the location-only feature group (it is *only* defined on coordinates,
+//! hence the "NA" cells in Table 9) and shows it performs worst on 5G —
+//! mmWave's obstruction-driven discontinuities break the spatial-correlation
+//! assumption.
+//!
+//! Implementation: empirical semivariogram on binned lag distances, an
+//! exponential model `γ(h) = nugget + psill·(1 − e^{−h/range})` fitted by
+//! coarse grid search, and **local** ordinary kriging (the standard
+//! practice) solving the `(k+1)×(k+1)` system over the `k` nearest
+//! neighbours of each query point.
+
+use crate::linalg::Matrix;
+
+/// Fitted exponential variogram parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Variogram {
+    /// Nugget (discontinuity at lag 0).
+    pub nugget: f64,
+    /// Partial sill (asymptotic variance above the nugget).
+    pub psill: f64,
+    /// Effective range parameter, same units as coordinates.
+    pub range: f64,
+}
+
+impl Variogram {
+    /// Model value at lag `h`.
+    pub fn gamma(&self, h: f64) -> f64 {
+        if h <= 0.0 {
+            return 0.0;
+        }
+        self.nugget + self.psill * (1.0 - (-h / self.range).exp())
+    }
+}
+
+/// Ordinary Kriging interpolator over 2-D sample points.
+#[derive(Debug, Clone)]
+pub struct OrdinaryKriging {
+    points: Vec<[f64; 2]>,
+    values: Vec<f64>,
+    vario: Variogram,
+    neighbors: usize,
+    /// Spatial index for the local neighbourhood search.
+    tree: crate::kdtree::KdTree,
+}
+
+impl OrdinaryKriging {
+    /// Fit the variogram and store samples. `neighbors` points are used per
+    /// prediction (16–32 is customary).
+    pub fn fit(points: &[[f64; 2]], values: &[f64], neighbors: usize) -> Self {
+        assert_eq!(points.len(), values.len(), "points/values length mismatch");
+        assert!(points.len() >= 3, "kriging needs at least 3 samples");
+        assert!(neighbors >= 2, "need at least 2 neighbors");
+        let vario = fit_variogram(points, values);
+        let tree =
+            crate::kdtree::KdTree::build(points.iter().map(|p| p.to_vec()).collect());
+        OrdinaryKriging {
+            points: points.to_vec(),
+            values: values.to_vec(),
+            vario,
+            neighbors: neighbors.min(points.len()),
+            tree,
+        }
+    }
+
+    /// The fitted variogram.
+    pub fn variogram(&self) -> Variogram {
+        self.vario
+    }
+
+    /// Predict the field at `(x, y)`.
+    pub fn predict(&self, x: f64, y: f64) -> f64 {
+        // k nearest samples via the spatial index.
+        let nn = self.tree.knn(&[x, y], self.neighbors);
+
+        // Exact hit: return the sample (kriging is an exact interpolator).
+        if let Some(&i) = nn.iter().find(|&&i| {
+            let p = self.points[i];
+            (p[0] - x).powi(2) + (p[1] - y).powi(2) < 1e-18
+        }) {
+            return self.values[i];
+        }
+
+        // OK system: [Γ 1; 1ᵀ 0] [w; μ] = [γ; 1]
+        let n = nn.len();
+        let a = Matrix::from_fn(n + 1, n + 1, |r, c| {
+            if r < n && c < n {
+                let pi = self.points[nn[r]];
+                let pj = self.points[nn[c]];
+                let h = ((pi[0] - pj[0]).powi(2) + (pi[1] - pj[1]).powi(2)).sqrt();
+                self.vario.gamma(h)
+            } else if r == n && c == n {
+                0.0
+            } else {
+                1.0
+            }
+        });
+        let mut b = Vec::with_capacity(n + 1);
+        for &i in &nn {
+            let p = self.points[i];
+            let h = ((p[0] - x).powi(2) + (p[1] - y).powi(2)).sqrt();
+            b.push(self.vario.gamma(h));
+        }
+        b.push(1.0);
+
+        match a.solve(&b) {
+            Some(w) => nn.iter().zip(&w).map(|(&i, &wi)| wi * self.values[i]).sum(),
+            // Singular system (e.g. coincident points): fall back to the
+            // inverse-distance-free mean of the neighbours.
+            None => nn.iter().map(|&i| self.values[i]).sum::<f64>() / n as f64,
+        }
+    }
+}
+
+/// Fit an exponential variogram to the empirical semivariogram by grid
+/// search over (nugget, psill, range).
+fn fit_variogram(points: &[[f64; 2]], values: &[f64]) -> Variogram {
+    // Empirical semivariogram over ~12 lag bins, using a bounded random-ish
+    // subsample of pairs for large n (deterministic stride).
+    let n = points.len();
+    let max_pairs = 200_000usize;
+    let stride = ((n * (n - 1) / 2) / max_pairs).max(1);
+
+    let mut max_d = 0.0f64;
+    let mut pair_count = 0usize;
+    let mut pairs: Vec<(f64, f64)> = Vec::new(); // (lag, half squared diff)
+    'outer: for i in 0..n {
+        for j in (i + 1)..n {
+            pair_count += 1;
+            if pair_count % stride != 0 {
+                continue;
+            }
+            let dx = points[i][0] - points[j][0];
+            let dy = points[i][1] - points[j][1];
+            let d = (dx * dx + dy * dy).sqrt();
+            let g = 0.5 * (values[i] - values[j]).powi(2);
+            max_d = max_d.max(d);
+            pairs.push((d, g));
+            if pairs.len() > 2 * max_pairs {
+                break 'outer;
+            }
+        }
+    }
+    if pairs.is_empty() || max_d == 0.0 {
+        return Variogram {
+            nugget: 0.0,
+            psill: 1.0,
+            range: 1.0,
+        };
+    }
+
+    let bins = 12usize;
+    // Use half the max distance (long lags are noisy and unbalanced).
+    let cut = max_d * 0.5;
+    let mut sums = vec![0.0; bins];
+    let mut counts = vec![0usize; bins];
+    for &(d, g) in &pairs {
+        if d <= 0.0 || d > cut {
+            continue;
+        }
+        let b = ((d / cut) * bins as f64) as usize;
+        let b = b.min(bins - 1);
+        sums[b] += g;
+        counts[b] += 1;
+    }
+    let emp: Vec<(f64, f64)> = (0..bins)
+        .filter(|&b| counts[b] > 0)
+        .map(|b| {
+            let mid = cut * (b as f64 + 0.5) / bins as f64;
+            (mid, sums[b] / counts[b] as f64)
+        })
+        .collect();
+    if emp.is_empty() {
+        return Variogram {
+            nugget: 0.0,
+            psill: 1.0,
+            range: cut.max(1.0),
+        };
+    }
+
+    let sill_guess = emp.iter().map(|&(_, g)| g).fold(0.0, f64::max).max(1e-12);
+    let mut best = Variogram {
+        nugget: 0.0,
+        psill: sill_guess,
+        range: cut / 3.0,
+    };
+    let mut best_err = f64::INFINITY;
+    for nug_frac in [0.0, 0.1, 0.25, 0.5] {
+        for sill_frac in [0.5, 0.75, 1.0, 1.25] {
+            for range_frac in [0.05, 0.1, 0.2, 0.35, 0.5, 0.8] {
+                let v = Variogram {
+                    nugget: nug_frac * sill_guess,
+                    psill: (sill_frac * sill_guess - nug_frac * sill_guess).max(1e-9),
+                    range: (range_frac * cut).max(1e-9),
+                };
+                let err: f64 = emp
+                    .iter()
+                    .map(|&(h, g)| (v.gamma(h) - g).powi(2))
+                    .sum();
+                if err < best_err {
+                    best_err = err;
+                    best = v;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smooth synthetic field with spatial correlation.
+    fn field(x: f64, y: f64) -> f64 {
+        (x / 20.0).sin() * 10.0 + (y / 15.0).cos() * 8.0 + 50.0
+    }
+
+    fn grid_samples() -> (Vec<[f64; 2]>, Vec<f64>) {
+        let mut pts = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..15 {
+            for j in 0..15 {
+                let (x, y) = (i as f64 * 7.0, j as f64 * 7.0);
+                pts.push([x, y]);
+                vals.push(field(x, y));
+            }
+        }
+        (pts, vals)
+    }
+
+    #[test]
+    fn exact_interpolation_at_samples() {
+        let (pts, vals) = grid_samples();
+        let ok = OrdinaryKriging::fit(&pts, &vals, 16);
+        for k in [0, 37, 111, 224] {
+            let p = ok.predict(pts[k][0], pts[k][1]);
+            assert!((p - vals[k]).abs() < 1e-9, "at sample {k}: {p} vs {}", vals[k]);
+        }
+    }
+
+    #[test]
+    fn interpolates_smooth_field_well() {
+        let (pts, vals) = grid_samples();
+        let ok = OrdinaryKriging::fit(&pts, &vals, 16);
+        let mut err = 0.0;
+        let mut cnt = 0;
+        for i in 0..14 {
+            for j in 0..14 {
+                let (x, y) = (i as f64 * 7.0 + 3.5, j as f64 * 7.0 + 3.5);
+                err += (ok.predict(x, y) - field(x, y)).abs();
+                cnt += 1;
+            }
+        }
+        let mae = err / cnt as f64;
+        assert!(mae < 1.0, "mae = {mae}");
+    }
+
+    #[test]
+    fn discontinuous_field_interpolates_poorly() {
+        // A hard step (like an mmWave obstruction shadow) defeats kriging at
+        // the boundary — the paper's point about 5G.
+        let mut pts = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..20 {
+            for j in 0..5 {
+                let (x, y) = (i as f64 * 5.0, j as f64 * 5.0);
+                pts.push([x, y]);
+                vals.push(if x < 50.0 { 1800.0 } else { 60.0 });
+            }
+        }
+        let ok = OrdinaryKriging::fit(&pts, &vals, 16);
+        // Query right at the cliff between samples at x=45 and x=50.
+        let p = ok.predict(47.5, 10.0);
+        let err_low = (p - 60.0).abs();
+        let err_high = (p - 1800.0).abs();
+        // Whatever it answers, it is far from one of the sides.
+        assert!(err_low.min(err_high) > 200.0, "p = {p}");
+    }
+
+    #[test]
+    fn variogram_gamma_is_monotone() {
+        let v = Variogram {
+            nugget: 0.5,
+            psill: 2.0,
+            range: 10.0,
+        };
+        let mut last = -1.0;
+        for h in [0.1, 1.0, 5.0, 20.0, 100.0] {
+            let g = v.gamma(h);
+            assert!(g > last);
+            last = g;
+        }
+        assert_eq!(v.gamma(0.0), 0.0);
+    }
+
+    #[test]
+    fn fitted_range_reflects_field_scale() {
+        let (pts, vals) = grid_samples();
+        let ok = OrdinaryKriging::fit(&pts, &vals, 16);
+        let v = ok.variogram();
+        assert!(v.range > 0.0 && v.psill > 0.0);
+    }
+}

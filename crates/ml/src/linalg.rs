@@ -1,0 +1,181 @@
+//! Minimal dense linear algebra: just what Ordinary Kriging needs — a
+//! row-major matrix and an LU solve with partial pivoting.
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of shape `(rows, cols)`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.data[r * cols + c] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix–vector product.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            out[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        out
+    }
+
+    /// Solve `A x = b` by LU decomposition with partial pivoting.
+    ///
+    /// Returns `None` if the matrix is (numerically) singular. Consumes a
+    /// copy of `self`; `A` must be square.
+    pub fn solve(&self, b: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(self.rows, self.cols, "solve requires a square matrix");
+        assert_eq!(self.rows, b.len(), "dimension mismatch");
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+
+        for col in 0..n {
+            // Pivot: largest magnitude in this column at/below the diagonal.
+            let mut pivot_row = col;
+            let mut pivot_val = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = r;
+                }
+            }
+            if pivot_val < 1e-12 {
+                return None;
+            }
+            if pivot_row != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot_row * n + c);
+                }
+                x.swap(col, pivot_row);
+            }
+            // Eliminate below.
+            let pivot = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in col..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut s = x[col];
+            for c in (col + 1)..n {
+                s -= a[col * n + c] * x[c];
+            }
+            x[col] = s / a[col * n + col];
+        }
+        Some(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_identity() {
+        let i = Matrix::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(i.matvec(&[1.0, 2.0, 3.0]), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_diagonal() {
+        let a = Matrix::from_fn(3, 3, |r, c| if r == c { (r + 1) as f64 } else { 0.0 });
+        let x = a.solve(&[2.0, 6.0, 12.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[2] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let mut a = Matrix::zeros(2, 2);
+        a.set(0, 0, 0.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 0.0);
+        let x = a.solve(&[3.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_general_system() {
+        // [[2,1],[1,3]] x = [5, 10] → x = [1, 3]
+        let a = Matrix::from_fn(2, 2, |r, c| [[2.0, 1.0], [1.0, 3.0]][r][c]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = Matrix::from_fn(2, 2, |r, c| [[1.0, 2.0], [2.0, 4.0]][r][c]);
+        assert!(a.solve(&[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_residual_is_small() {
+        let a = Matrix::from_fn(4, 4, |r, c| ((r * 7 + c * 3 + 1) % 11) as f64 + if r == c { 10.0 } else { 0.0 });
+        let b = [1.0, -2.0, 3.5, 0.25];
+        let x = a.solve(&b).unwrap();
+        let r = a.matvec(&x);
+        for i in 0..4 {
+            assert!((r[i] - b[i]).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! Evaluation metrics matching §6.1 of the paper: MAE and RMSE for
+//! regression; weighted-average F1 and per-class recall (the recall of the
+//! low-throughput class is a first-class metric because misclassifying low
+//! as high stalls video) for classification.
+
+/// Mean absolute error.
+///
+/// Panics on mismatched or empty inputs (a harness programming error).
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "mae: length mismatch");
+    assert!(!truth.is_empty(), "mae: empty input");
+    truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / truth.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len(), "rmse: length mismatch");
+    assert!(!truth.is_empty(), "rmse: empty input");
+    (truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum::<f64>()
+        / truth.len() as f64)
+        .sqrt()
+}
+
+/// Confusion matrix `m[truth][pred]` over `n_classes` labels.
+pub fn confusion_matrix(truth: &[usize], pred: &[usize], n_classes: usize) -> Vec<Vec<u64>> {
+    assert_eq!(truth.len(), pred.len(), "confusion: length mismatch");
+    let mut m = vec![vec![0u64; n_classes]; n_classes];
+    for (&t, &p) in truth.iter().zip(pred) {
+        assert!(t < n_classes && p < n_classes, "label out of range");
+        m[t][p] += 1;
+    }
+    m
+}
+
+/// Per-class and aggregate classification metrics.
+#[derive(Debug, Clone)]
+pub struct ClassificationReport {
+    /// Per-class precision.
+    pub precision: Vec<f64>,
+    /// Per-class recall.
+    pub recall: Vec<f64>,
+    /// Per-class F1.
+    pub f1: Vec<f64>,
+    /// Per-class support (number of true instances).
+    pub support: Vec<u64>,
+    /// Support-weighted average F1 — the paper's headline metric.
+    pub weighted_f1: f64,
+    /// Overall accuracy.
+    pub accuracy: f64,
+}
+
+impl ClassificationReport {
+    /// Compute from labels.
+    pub fn from_labels(truth: &[usize], pred: &[usize], n_classes: usize) -> Self {
+        let m = confusion_matrix(truth, pred, n_classes);
+        let mut precision = vec![0.0; n_classes];
+        let mut recall = vec![0.0; n_classes];
+        let mut f1 = vec![0.0; n_classes];
+        let mut support = vec![0u64; n_classes];
+        let mut correct = 0u64;
+        for c in 0..n_classes {
+            let tp = m[c][c];
+            let fn_: u64 = (0..n_classes).filter(|&j| j != c).map(|j| m[c][j]).sum();
+            let fp: u64 = (0..n_classes).filter(|&i| i != c).map(|i| m[i][c]).sum();
+            support[c] = tp + fn_;
+            correct += tp;
+            precision[c] = if tp + fp > 0 {
+                tp as f64 / (tp + fp) as f64
+            } else {
+                0.0
+            };
+            recall[c] = if tp + fn_ > 0 {
+                tp as f64 / (tp + fn_) as f64
+            } else {
+                0.0
+            };
+            f1[c] = if precision[c] + recall[c] > 0.0 {
+                2.0 * precision[c] * recall[c] / (precision[c] + recall[c])
+            } else {
+                0.0
+            };
+        }
+        let total: u64 = support.iter().sum();
+        let weighted_f1 = if total > 0 {
+            (0..n_classes)
+                .map(|c| f1[c] * support[c] as f64)
+                .sum::<f64>()
+                / total as f64
+        } else {
+            0.0
+        };
+        let accuracy = if total > 0 {
+            correct as f64 / total as f64
+        } else {
+            0.0
+        };
+        ClassificationReport {
+            precision,
+            recall,
+            f1,
+            support,
+            weighted_f1,
+            accuracy,
+        }
+    }
+}
+
+/// Support-weighted average F1 over labels.
+pub fn weighted_f1(truth: &[usize], pred: &[usize], n_classes: usize) -> f64 {
+    ClassificationReport::from_labels(truth, pred, n_classes).weighted_f1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_and_rmse_of_perfect_prediction_are_zero() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+    }
+
+    #[test]
+    fn mae_hand_computed() {
+        assert!((mae(&[0.0, 0.0], &[1.0, -3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_upper_bounds_mae() {
+        let t = [0.0, 0.0, 0.0, 0.0];
+        let p = [1.0, 2.0, 3.0, 4.0];
+        assert!(rmse(&t, &p) >= mae(&t, &p));
+    }
+
+    #[test]
+    fn rmse_hand_computed() {
+        // errors 1 and 3 → rmse = sqrt(5)
+        assert!((rmse(&[0.0, 0.0], &[1.0, 3.0]) - 5.0f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let m = confusion_matrix(&[0, 0, 1, 2], &[0, 1, 1, 2], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][2], 1);
+    }
+
+    #[test]
+    fn perfect_classifier_scores_one() {
+        let y = [0, 1, 2, 1, 0];
+        let r = ClassificationReport::from_labels(&y, &y, 3);
+        assert!((r.weighted_f1 - 1.0).abs() < 1e-12);
+        assert!((r.accuracy - 1.0).abs() < 1e-12);
+        assert!(r.recall.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn degenerate_class_gets_zero_f1() {
+        // Class 2 never predicted nor true.
+        let t = [0, 0, 1, 1];
+        let p = [0, 1, 1, 0];
+        let r = ClassificationReport::from_labels(&t, &p, 3);
+        assert_eq!(r.f1[2], 0.0);
+        assert_eq!(r.support[2], 0);
+        // Weighted F1 ignores the empty class.
+        assert!((r.weighted_f1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_scores_binary() {
+        // truth: [1,1,1,0,0], pred: [1,1,0,0,1]
+        // class 1: tp=2 fp=1 fn=1 → P=2/3 R=2/3 F1=2/3
+        // class 0: tp=1 fp=1 fn=1 → P=1/2 R=1/2 F1=1/2
+        // weighted: (3·2/3 + 2·1/2)/5 = 0.6
+        let r = ClassificationReport::from_labels(&[1, 1, 1, 0, 0], &[1, 1, 0, 0, 1], 2);
+        assert!((r.weighted_f1 - 0.6).abs() < 1e-12);
+        assert!((r.recall[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mae_panics_on_mismatch() {
+        mae(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,282 @@
+//! A single LSTM layer with hand-derived backpropagation-through-time.
+//!
+//! Gate layout in the fused weight matrix (rows of `W ∈ ℝ^{4H×(I+H)}`):
+//! `[input i | forget f | cell g | output o]`, each block of `H` rows. The
+//! forget-gate bias is initialized to +1 (standard practice for sequence
+//! stability).
+
+use super::Param;
+use rand::rngs::StdRng;
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Per-timestep forward cache needed by the backward pass.
+#[derive(Debug, Clone)]
+pub struct StepCache {
+    /// Concatenated `[x; h_prev]`.
+    pub xh: Vec<f64>,
+    /// Previous cell state.
+    pub c_prev: Vec<f64>,
+    /// Gate activations i, f, g, o (each length H).
+    pub i: Vec<f64>,
+    /// Forget gate.
+    pub f: Vec<f64>,
+    /// Candidate cell.
+    pub g: Vec<f64>,
+    /// Output gate.
+    pub o: Vec<f64>,
+    /// New cell state.
+    pub c: Vec<f64>,
+    /// tanh(c).
+    pub tanh_c: Vec<f64>,
+}
+
+/// One LSTM layer: fused gate weights and biases.
+#[derive(Debug, Clone)]
+pub struct LstmLayer {
+    /// Input dimension.
+    pub input_dim: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Fused gate weights, `4H × (I+H)` row-major.
+    pub w: Param,
+    /// Fused gate biases, `4H`.
+    pub b: Param,
+}
+
+impl LstmLayer {
+    /// Initialize with Xavier weights; forget-gate bias +1.
+    pub fn new(input_dim: usize, hidden: usize, rng: &mut StdRng) -> Self {
+        let cols = input_dim + hidden;
+        let w = Param::xavier(4 * hidden * cols, cols, hidden, rng);
+        let mut b = Param::zeros(4 * hidden);
+        for j in hidden..2 * hidden {
+            b.w[j] = 1.0;
+        }
+        LstmLayer {
+            input_dim,
+            hidden,
+            w,
+            b,
+        }
+    }
+
+    /// Forward one step. Returns `(h, c, cache)`.
+    pub fn forward(
+        &self,
+        x: &[f64],
+        h_prev: &[f64],
+        c_prev: &[f64],
+    ) -> (Vec<f64>, Vec<f64>, StepCache) {
+        let hdim = self.hidden;
+        assert_eq!(x.len(), self.input_dim, "input dim mismatch");
+        assert_eq!(h_prev.len(), hdim, "hidden dim mismatch");
+        let cols = self.input_dim + hdim;
+        let mut xh = Vec::with_capacity(cols);
+        xh.extend_from_slice(x);
+        xh.extend_from_slice(h_prev);
+
+        // z = W·xh + b
+        let mut z = vec![0.0; 4 * hdim];
+        for (r, zr) in z.iter_mut().enumerate() {
+            let row = &self.w.w[r * cols..(r + 1) * cols];
+            *zr = self.b.w[r] + row.iter().zip(&xh).map(|(a, b)| a * b).sum::<f64>();
+        }
+
+        let mut i = vec![0.0; hdim];
+        let mut f = vec![0.0; hdim];
+        let mut g = vec![0.0; hdim];
+        let mut o = vec![0.0; hdim];
+        let mut c = vec![0.0; hdim];
+        let mut tanh_c = vec![0.0; hdim];
+        let mut h = vec![0.0; hdim];
+        for j in 0..hdim {
+            i[j] = sigmoid(z[j]);
+            f[j] = sigmoid(z[hdim + j]);
+            g[j] = z[2 * hdim + j].tanh();
+            o[j] = sigmoid(z[3 * hdim + j]);
+            c[j] = f[j] * c_prev[j] + i[j] * g[j];
+            tanh_c[j] = c[j].tanh();
+            h[j] = o[j] * tanh_c[j];
+        }
+        let cache = StepCache {
+            xh,
+            c_prev: c_prev.to_vec(),
+            i,
+            f,
+            g,
+            o,
+            c: c.clone(),
+            tanh_c,
+        };
+        (h, c, cache)
+    }
+
+    /// Backward one step. `dh`/`dc` are gradients flowing into this step's
+    /// outputs. Accumulates weight/bias gradients and returns
+    /// `(dx, dh_prev, dc_prev)`.
+    pub fn backward(&mut self, dh: &[f64], dc_in: &[f64], cache: &StepCache) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let hdim = self.hidden;
+        let cols = self.input_dim + hdim;
+        let mut dz = vec![0.0; 4 * hdim];
+        let mut dc_prev = vec![0.0; hdim];
+        for j in 0..hdim {
+            let do_ = dh[j] * cache.tanh_c[j];
+            let dc = dc_in[j] + dh[j] * cache.o[j] * (1.0 - cache.tanh_c[j] * cache.tanh_c[j]);
+            let di = dc * cache.g[j];
+            let df = dc * cache.c_prev[j];
+            let dg = dc * cache.i[j];
+            dc_prev[j] = dc * cache.f[j];
+            dz[j] = di * cache.i[j] * (1.0 - cache.i[j]);
+            dz[hdim + j] = df * cache.f[j] * (1.0 - cache.f[j]);
+            dz[2 * hdim + j] = dg * (1.0 - cache.g[j] * cache.g[j]);
+            dz[3 * hdim + j] = do_ * cache.o[j] * (1.0 - cache.o[j]);
+        }
+        // dW += dz ⊗ xh ; db += dz ; dxh = Wᵀ dz
+        let mut dxh = vec![0.0; cols];
+        for r in 0..4 * hdim {
+            let dzr = dz[r];
+            self.b.g[r] += dzr;
+            let row_w = &self.w.w[r * cols..(r + 1) * cols];
+            let row_g = &mut self.w.g[r * cols..(r + 1) * cols];
+            for cidx in 0..cols {
+                row_g[cidx] += dzr * cache.xh[cidx];
+                dxh[cidx] += dzr * row_w[cidx];
+            }
+        }
+        let dx = dxh[..self.input_dim].to_vec();
+        let dh_prev = dxh[self.input_dim..].to_vec();
+        (dx, dh_prev, dc_prev)
+    }
+
+    /// All parameters, for the optimizer.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn layer(i: usize, h: usize, seed: u64) -> LstmLayer {
+        let mut rng = StdRng::seed_from_u64(seed);
+        LstmLayer::new(i, h, &mut rng)
+    }
+
+    #[test]
+    fn forward_shapes_and_bounds() {
+        let l = layer(3, 4, 1);
+        let (h, c, _) = l.forward(&[0.5, -0.2, 1.0], &[0.0; 4], &[0.0; 4]);
+        assert_eq!(h.len(), 4);
+        assert_eq!(c.len(), 4);
+        // |h| < 1 always (o·tanh(c)).
+        assert!(h.iter().all(|v| v.abs() < 1.0));
+    }
+
+    #[test]
+    fn zero_input_zero_state_gives_small_output() {
+        let l = layer(2, 3, 2);
+        let (h, _, _) = l.forward(&[0.0, 0.0], &[0.0; 3], &[0.0; 3]);
+        // With zero inputs, z = b; h is bounded by tanh of small cell values.
+        assert!(h.iter().all(|v| v.abs() < 0.8));
+    }
+
+    #[test]
+    fn forget_bias_initialized_to_one() {
+        let l = layer(2, 3, 3);
+        for j in 3..6 {
+            assert_eq!(l.b.w[j], 1.0);
+        }
+        assert_eq!(l.b.w[0], 0.0);
+    }
+
+    /// Finite-difference gradient check for a single step: loss = Σh².
+    #[test]
+    fn gradient_check_single_step() {
+        let mut l = layer(2, 3, 4);
+        let x = [0.3, -0.7];
+        let h0 = [0.1, -0.2, 0.05];
+        let c0 = [0.2, 0.0, -0.1];
+
+        let loss = |l: &LstmLayer| -> f64 {
+            let (h, _, _) = l.forward(&x, &h0, &c0);
+            h.iter().map(|v| v * v).sum()
+        };
+
+        // Analytic gradients.
+        let (h, _, cache) = l.forward(&x, &h0, &c0);
+        let dh: Vec<f64> = h.iter().map(|v| 2.0 * v).collect();
+        let dc = vec![0.0; 3];
+        l.w.zero_grad();
+        l.b.zero_grad();
+        let (_dx, _dh0, _dc0) = l.backward(&dh, &dc, &cache);
+
+        // Compare a scattering of weight entries.
+        let eps = 1e-6;
+        for &idx in &[0usize, 7, 13, 29, 41, 59] {
+            let orig = l.w.w[idx];
+            l.w.w[idx] = orig + eps;
+            let lp = loss(&l);
+            l.w.w[idx] = orig - eps;
+            let lm = loss(&l);
+            l.w.w[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = l.w.g[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-6 * (1.0 + numeric.abs()),
+                "idx {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // And bias entries.
+        for &idx in &[0usize, 4, 8, 11] {
+            let orig = l.b.w[idx];
+            l.b.w[idx] = orig + eps;
+            let lp = loss(&l);
+            l.b.w[idx] = orig - eps;
+            let lm = loss(&l);
+            l.b.w[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = l.b.g[idx];
+            assert!(
+                (numeric - analytic).abs() < 1e-6 * (1.0 + numeric.abs()),
+                "bias {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+    }
+
+    /// Check the input/state gradients too, via a two-step chain.
+    #[test]
+    fn gradient_check_input_gradients() {
+        let mut l = layer(2, 3, 5);
+        let h0 = [0.0; 3];
+        let c0 = [0.0; 3];
+        let x = [0.4, -0.1];
+
+        let loss_of_x = |l: &LstmLayer, x: &[f64]| -> f64 {
+            let (h, _, _) = l.forward(x, &h0, &c0);
+            h.iter().map(|v| v * v).sum()
+        };
+
+        let (h, _, cache) = l.forward(&x, &h0, &c0);
+        let dh: Vec<f64> = h.iter().map(|v| 2.0 * v).collect();
+        let (dx, _, _) = l.backward(&dh, &[0.0; 3], &cache);
+
+        let eps = 1e-6;
+        for j in 0..2 {
+            let mut xp = x;
+            xp[j] += eps;
+            let mut xm = x;
+            xm[j] -= eps;
+            let numeric = (loss_of_x(&l, &xp) - loss_of_x(&l, &xm)) / (2.0 * eps);
+            assert!(
+                (numeric - dx[j]).abs() < 1e-6 * (1.0 + numeric.abs()),
+                "dx[{j}]: numeric {numeric} vs analytic {}",
+                dx[j]
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Neural-network substrate: parameters, Adam, LSTM cells and the Seq2Seq
+//! encoder–decoder of §5.2 / Fig 15.
+//!
+//! Everything is implemented directly on `Vec<f64>` buffers — no BLAS, no
+//! autograd. Gradients are hand-derived and validated against finite
+//! differences in the test suite (`seq2seq::tests::gradient_check_*`).
+
+pub mod lstm;
+pub mod seq2seq;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A weight tensor with its gradient accumulator and Adam moments.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Weights (row-major for matrices).
+    pub w: Vec<f64>,
+    /// Gradient accumulator.
+    pub g: Vec<f64>,
+    /// Adam first moment.
+    m: Vec<f64>,
+    /// Adam second moment.
+    v: Vec<f64>,
+}
+
+impl Param {
+    /// Xavier-uniform initialized tensor of `len` weights with the given
+    /// fan-in/fan-out.
+    pub fn xavier(len: usize, fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Self {
+        let limit = (6.0 / (fan_in + fan_out) as f64).sqrt();
+        Param {
+            w: (0..len).map(|_| rng.gen_range(-limit..limit)).collect(),
+            g: vec![0.0; len],
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        }
+    }
+
+    /// Zero-initialized tensor (biases).
+    pub fn zeros(len: usize) -> Self {
+        Param {
+            w: vec![0.0; len],
+            g: vec![0.0; len],
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        }
+    }
+
+    /// Reset the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.g.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Squared L2 norm of the gradient.
+    pub fn grad_norm_sq(&self) -> f64 {
+        self.g.iter().map(|g| g * g).sum()
+    }
+
+    /// Scale the gradient in place (for global-norm clipping).
+    pub fn scale_grad(&mut self, s: f64) {
+        self.g.iter_mut().for_each(|g| *g *= s);
+    }
+}
+
+/// Adam optimizer state shared across a parameter set.
+#[derive(Debug, Clone, Copy)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub eps: f64,
+    /// Step counter (for bias correction).
+    pub t: u64,
+}
+
+impl Adam {
+    /// Standard Adam with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+        }
+    }
+
+    /// Advance the shared step counter; call once per optimizer step before
+    /// updating the individual parameters.
+    pub fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    /// Apply one Adam update to `p` using its accumulated gradient.
+    pub fn update(&self, p: &mut Param) {
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..p.w.len() {
+            p.m[i] = self.beta1 * p.m[i] + (1.0 - self.beta1) * p.g[i];
+            p.v[i] = self.beta2 * p.v[i] + (1.0 - self.beta2) * p.g[i] * p.g[i];
+            let mhat = p.m[i] / bc1;
+            let vhat = p.v[i] / bc2;
+            p.w[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_init_within_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = Param::xavier(100, 10, 10, &mut rng);
+        let limit = (6.0 / 20.0f64).sqrt();
+        assert!(p.w.iter().all(|&w| w.abs() <= limit));
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // Minimize (w − 3)² with Adam.
+        let mut p = Param::zeros(1);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..500 {
+            p.zero_grad();
+            p.g[0] = 2.0 * (p.w[0] - 3.0);
+            opt.begin_step();
+            opt.update(&mut p);
+        }
+        assert!((p.w[0] - 3.0).abs() < 1e-3, "w = {}", p.w[0]);
+    }
+
+    #[test]
+    fn grad_clipping_scales() {
+        let mut p = Param::zeros(2);
+        p.g = vec![3.0, 4.0];
+        assert!((p.grad_norm_sq() - 25.0).abs() < 1e-12);
+        p.scale_grad(0.5);
+        assert_eq!(p.g, vec![1.5, 2.0]);
+    }
+}

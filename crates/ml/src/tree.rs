@@ -1,0 +1,582 @@
+//! CART decision trees.
+//!
+//! Two variants share the same split machinery:
+//!
+//! - [`RegressionTree`]: fits first/second-order gradients (XGBoost-style),
+//!   so the same code serves plain regression (`g = −y, h = 1` reduces the
+//!   gain to variance reduction and leaves to means) and the Newton leaves
+//!   of softmax GBDT classification.
+//! - [`ClassificationTree`]: Gini-impurity splits with majority leaves, used
+//!   by the Random Forest baseline.
+//!
+//! Both support depth bounds, minimum leaf sizes and random feature
+//! subspaces (for forests).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Shared tree growth limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples in a leaf.
+    pub min_samples_leaf: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of features examined per split; `None` = all.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_samples_leaf: 1,
+            min_samples_split: 2,
+            max_features: None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        /// Gain achieved by this split (for feature importance).
+        gain: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Gradient-fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+}
+
+impl RegressionTree {
+    /// Fit on features `xs` with per-sample gradient `g` and hessian `h`.
+    /// The leaf value minimizing the local quadratic model is `−Σg / Σh`.
+    ///
+    /// For plain least-squares regression on targets `y`, pass `g = −y`,
+    /// `h = 1`: leaves become target means and the split gain is exactly
+    /// variance reduction.
+    pub fn fit_gradients(
+        xs: &[Vec<f64>],
+        g: &[f64],
+        h: &[f64],
+        cfg: &TreeConfig,
+        rng: Option<&mut StdRng>,
+    ) -> Self {
+        assert_eq!(xs.len(), g.len(), "xs/g length mismatch");
+        assert_eq!(xs.len(), h.len(), "xs/h length mismatch");
+        assert!(!xs.is_empty(), "cannot fit a tree on no data");
+        let n_features = xs[0].len();
+        assert!(n_features > 0, "need at least one feature");
+        let mut tree = RegressionTree {
+            nodes: Vec::new(),
+            n_features,
+        };
+        // Pre-sort sample indices per feature once; splits partition these
+        // lists order-preservingly, so no per-node sorting is needed.
+        let orders: Vec<Vec<usize>> = (0..n_features)
+            .map(|f| {
+                let mut v: Vec<usize> = (0..xs.len()).collect();
+                v.sort_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).expect("NaN feature value"));
+                v
+            })
+            .collect();
+        let mut local_rng = rng;
+        tree.build(xs, g, h, orders, 0, cfg, &mut local_rng);
+        tree
+    }
+
+    /// Convenience: least-squares fit on targets.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], cfg: &TreeConfig) -> Self {
+        let g: Vec<f64> = ys.iter().map(|y| -y).collect();
+        let h = vec![1.0; ys.len()];
+        Self::fit_gradients(xs, &g, &h, cfg, None)
+    }
+
+    /// Recursive node builder. `orders[f]` holds this node's sample indices
+    /// sorted by feature `f` (all features share the same sample set).
+    fn build(
+        &mut self,
+        xs: &[Vec<f64>],
+        g: &[f64],
+        h: &[f64],
+        orders: Vec<Vec<usize>>,
+        depth: usize,
+        cfg: &TreeConfig,
+        rng: &mut Option<&mut StdRng>,
+    ) -> usize {
+        let idx: &[usize] = &orders[0];
+        let n = idx.len();
+        let sum_g: f64 = idx.iter().map(|&i| g[i]).sum();
+        let sum_h: f64 = idx.iter().map(|&i| h[i]).sum();
+        let leaf_value = if sum_h.abs() > 1e-12 { -sum_g / sum_h } else { 0.0 };
+
+        if depth >= cfg.max_depth || n < cfg.min_samples_split {
+            return self.push(Node::Leaf { value: leaf_value });
+        }
+
+        // Pure node (all implied targets equal): nothing to gain by
+        // splitting, even at zero cost.
+        let first_target = -g[idx[0]] / h[idx[0]].max(1e-12);
+        let pure = idx
+            .iter()
+            .all(|&i| (-g[i] / h[i].max(1e-12) - first_target).abs() < 1e-12);
+        if pure {
+            return self.push(Node::Leaf { value: leaf_value });
+        }
+
+        let parent_score = sum_g * sum_g / sum_h.max(1e-12);
+        let features = self.candidate_features(cfg, rng);
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+        for &f in &features {
+            let order = &orders[f];
+            let mut gl = 0.0;
+            let mut hl = 0.0;
+            for k in 0..n.saturating_sub(1) {
+                let i = order[k];
+                gl += g[i];
+                hl += h[i];
+                // Can't split between equal feature values.
+                if xs[order[k]][f] == xs[order[k + 1]][f] {
+                    continue;
+                }
+                let left_n = k + 1;
+                let right_n = n - left_n;
+                if left_n < cfg.min_samples_leaf || right_n < cfg.min_samples_leaf {
+                    continue;
+                }
+                let gr = sum_g - gl;
+                let hr = sum_h - hl;
+                if hl <= 1e-12 || hr <= 1e-12 {
+                    continue;
+                }
+                // Gain is non-negative by convexity; zero-gain splits are
+                // accepted (like sklearn) so symmetric targets such as XOR
+                // can still be separated at deeper levels.
+                let gain = gl * gl / hl + gr * gr / hr - parent_score;
+                if gain > best.map_or(-1e-12, |b| b.2) {
+                    let threshold = 0.5 * (xs[order[k]][f] + xs[order[k + 1]][f]);
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+
+        match best {
+            None => self.push(Node::Leaf { value: leaf_value }),
+            Some((feature, threshold, gain)) => {
+                // Order-preserving partition of every presorted list.
+                let mut left_orders = Vec::with_capacity(orders.len());
+                let mut right_orders = Vec::with_capacity(orders.len());
+                for ord in &orders {
+                    let (l, r): (Vec<usize>, Vec<usize>) =
+                        ord.iter().partition(|&&i| xs[i][feature] <= threshold);
+                    left_orders.push(l);
+                    right_orders.push(r);
+                }
+                drop(orders);
+                let node = self.push(Node::Leaf { value: 0.0 }); // placeholder
+                let left = self.build(xs, g, h, left_orders, depth + 1, cfg, rng);
+                let right = self.build(xs, g, h, right_orders, depth + 1, cfg, rng);
+                self.nodes[node] = Node::Split {
+                    feature,
+                    threshold,
+                    gain,
+                    left,
+                    right,
+                };
+                node
+            }
+        }
+    }
+
+    fn candidate_features(&self, cfg: &TreeConfig, rng: &mut Option<&mut StdRng>) -> Vec<usize> {
+        let all: Vec<usize> = (0..self.n_features).collect();
+        match (cfg.max_features, rng) {
+            (Some(k), Some(r)) if k < self.n_features => {
+                let mut shuffled = all;
+                shuffled.shuffle(*r);
+                shuffled.truncate(k);
+                shuffled
+            }
+            _ => all,
+        }
+    }
+
+    fn push(&mut self, n: Node) -> usize {
+        self.nodes.push(n);
+        self.nodes.len() - 1
+    }
+
+    /// Predict for one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Predict for many rows.
+    pub fn predict(&self, xs: &[Vec<f64>]) -> Vec<f64> {
+        xs.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Accumulate this tree's split gains into `importance[feature]`.
+    pub fn add_importance(&self, importance: &mut [f64]) {
+        for n in &self.nodes {
+            if let Node::Split { feature, gain, .. } = n {
+                importance[*feature] += gain.max(0.0);
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Gini-impurity classification tree with majority-vote leaves.
+#[derive(Debug, Clone)]
+pub struct ClassificationTree {
+    nodes: Vec<CNode>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+#[derive(Debug, Clone)]
+enum CNode {
+    Leaf { class: usize, proba: Vec<f64> },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+impl ClassificationTree {
+    /// Fit on labels in `0..n_classes`.
+    pub fn fit(
+        xs: &[Vec<f64>],
+        ys: &[usize],
+        n_classes: usize,
+        cfg: &TreeConfig,
+        rng: Option<&mut StdRng>,
+    ) -> Self {
+        assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+        assert!(!xs.is_empty(), "cannot fit a tree on no data");
+        assert!(ys.iter().all(|&y| y < n_classes), "label out of range");
+        let n_features = xs[0].len();
+        assert!(n_features > 0, "need at least one feature");
+        let mut tree = ClassificationTree {
+            nodes: Vec::new(),
+            n_features,
+            n_classes,
+        };
+        let orders: Vec<Vec<usize>> = (0..n_features)
+            .map(|f| {
+                let mut v: Vec<usize> = (0..xs.len()).collect();
+                v.sort_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).expect("NaN feature value"));
+                v
+            })
+            .collect();
+        let mut local_rng = rng;
+        tree.build(xs, ys, orders, 0, cfg, &mut local_rng);
+        tree
+    }
+
+    fn counts(&self, ys: &[usize], idx: &[usize]) -> Vec<f64> {
+        let mut c = vec![0.0; self.n_classes];
+        for &i in idx {
+            c[ys[i]] += 1.0;
+        }
+        c
+    }
+
+    fn gini(counts: &[f64]) -> f64 {
+        let n: f64 = counts.iter().sum();
+        if n == 0.0 {
+            return 0.0;
+        }
+        1.0 - counts.iter().map(|c| (c / n) * (c / n)).sum::<f64>()
+    }
+
+    /// Recursive node builder over presorted per-feature index lists.
+    fn build(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[usize],
+        orders: Vec<Vec<usize>>,
+        depth: usize,
+        cfg: &TreeConfig,
+        rng: &mut Option<&mut StdRng>,
+    ) -> usize {
+        let idx: Vec<usize> = orders[0].clone();
+        let counts = self.counts(ys, &idx);
+        let total: f64 = counts.iter().sum();
+        let majority = counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite count"))
+            .map(|(c, _)| c)
+            .unwrap_or(0);
+        let proba: Vec<f64> = counts.iter().map(|c| c / total.max(1.0)).collect();
+
+        let parent_gini = Self::gini(&counts);
+        if depth >= cfg.max_depth
+            || idx.len() < cfg.min_samples_split
+            || parent_gini == 0.0
+        {
+            return self.push(CNode::Leaf {
+                class: majority,
+                proba,
+            });
+        }
+
+        let features: Vec<usize> = {
+            let all: Vec<usize> = (0..self.n_features).collect();
+            match (cfg.max_features, rng.as_deref_mut()) {
+                (Some(k), Some(r)) if k < self.n_features => {
+                    let mut s = all;
+                    s.shuffle(r);
+                    s.truncate(k);
+                    s
+                }
+                _ => all,
+            }
+        };
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, weighted gini)
+        for &f in &features {
+            let order = &orders[f];
+            let mut left_counts = vec![0.0; self.n_classes];
+            for k in 0..order.len().saturating_sub(1) {
+                left_counts[ys[order[k]]] += 1.0;
+                if xs[order[k]][f] == xs[order[k + 1]][f] {
+                    continue;
+                }
+                let ln = (k + 1) as f64;
+                let rn = total - ln;
+                if (ln as usize) < cfg.min_samples_leaf || (rn as usize) < cfg.min_samples_leaf {
+                    continue;
+                }
+                let right_counts: Vec<f64> = counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(t, l)| t - l)
+                    .collect();
+                let w = (ln * Self::gini(&left_counts) + rn * Self::gini(&right_counts)) / total;
+                if w < best.map_or(parent_gini + 1e-12, |b| b.2) {
+                    let threshold = 0.5 * (xs[order[k]][f] + xs[order[k + 1]][f]);
+                    best = Some((f, threshold, w));
+                }
+            }
+        }
+
+        match best {
+            None => self.push(CNode::Leaf {
+                class: majority,
+                proba,
+            }),
+            Some((feature, threshold, _)) => {
+                let mut left_orders = Vec::with_capacity(orders.len());
+                let mut right_orders = Vec::with_capacity(orders.len());
+                for ord in &orders {
+                    let (l, r): (Vec<usize>, Vec<usize>) =
+                        ord.iter().partition(|&&i| xs[i][feature] <= threshold);
+                    left_orders.push(l);
+                    right_orders.push(r);
+                }
+                drop(orders);
+                let node = self.push(CNode::Leaf {
+                    class: majority,
+                    proba: vec![0.0; self.n_classes],
+                });
+                let left = self.build(xs, ys, left_orders, depth + 1, cfg, rng);
+                let right = self.build(xs, ys, right_orders, depth + 1, cfg, rng);
+                self.nodes[node] = CNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                node
+            }
+        }
+    }
+
+    fn push(&mut self, n: CNode) -> usize {
+        self.nodes.push(n);
+        self.nodes.len() - 1
+    }
+
+    /// Predicted class for one row.
+    pub fn predict_row(&self, row: &[f64]) -> usize {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                CNode::Leaf { class, .. } => return *class,
+                CNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Class probabilities for one row (leaf class frequencies).
+    pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                CNode::Leaf { proba, .. } => return proba.clone(),
+                CNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Predicted classes for many rows.
+    pub fn predict(&self, xs: &[Vec<f64>]) -> Vec<usize> {
+        xs.iter().map(|r| self.predict_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y = 10 for x < 5, 20 for x >= 5.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| if i < 5 { 10.0 } else { 20.0 }).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn regression_tree_learns_step_function() {
+        let (xs, ys) = step_data();
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default());
+        assert!((t.predict_row(&[2.0]) - 10.0).abs() < 1e-9);
+        assert!((t.predict_row(&[7.0]) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_zero_tree_predicts_mean() {
+        let (xs, ys) = step_data();
+        let cfg = TreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
+        let t = RegressionTree::fit(&xs, &ys, &cfg);
+        assert!((t.predict_row(&[0.0]) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_samples_leaf_is_respected() {
+        let (xs, ys) = step_data();
+        let cfg = TreeConfig {
+            min_samples_leaf: 6, // can't make a 5/5 split ⇒ no split
+            ..Default::default()
+        };
+        let t = RegressionTree::fit(&xs, &ys, &cfg);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn regression_tree_two_features_picks_informative_one() {
+        // Feature 0 is noise-free signal, feature 1 is constant.
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 3.0]).collect();
+        let ys: Vec<f64> = (0..20).map(|i| if i < 10 { 0.0 } else { 1.0 }).collect();
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default());
+        let mut imp = vec![0.0; 2];
+        t.add_importance(&mut imp);
+        assert!(imp[0] > 0.0);
+        assert_eq!(imp[1], 0.0);
+    }
+
+    #[test]
+    fn regression_tree_fits_xor_with_depth_two() {
+        let xs = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let ys = vec![0.0, 1.0, 1.0, 0.0];
+        let t = RegressionTree::fit(&xs, &ys, &TreeConfig::default());
+        for (x, y) in xs.iter().zip(&ys) {
+            assert!((t.predict_row(x) - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn classification_tree_separable() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<usize> = (0..20).map(|i| usize::from(i >= 10)).collect();
+        let t = ClassificationTree::fit(&xs, &ys, 2, &TreeConfig::default(), None);
+        assert_eq!(t.predict_row(&[3.0]), 0);
+        assert_eq!(t.predict_row(&[15.0]), 1);
+    }
+
+    #[test]
+    fn classification_tree_three_classes() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let ys: Vec<usize> = (0..30).map(|i| i / 10).collect();
+        let t = ClassificationTree::fit(&xs, &ys, 3, &TreeConfig::default(), None);
+        assert_eq!(t.predict_row(&[5.0]), 0);
+        assert_eq!(t.predict_row(&[15.0]), 1);
+        assert_eq!(t.predict_row(&[25.0]), 2);
+    }
+
+    #[test]
+    fn classification_proba_sums_to_one() {
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![(i % 4) as f64]).collect();
+        let ys: Vec<usize> = (0..12).map(|i| i % 3).collect();
+        let t = ClassificationTree::fit(&xs, &ys, 3, &TreeConfig::default(), None);
+        let p = t.predict_proba_row(&[1.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let ys = vec![1usize; 10];
+        let t = ClassificationTree::fit(&xs, &ys, 2, &TreeConfig::default(), None);
+        assert_eq!(t.predict_row(&[4.0]), 1);
+    }
+}

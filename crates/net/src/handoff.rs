@@ -1,0 +1,335 @@
+//! Connection manager: cell attach, horizontal and vertical handoffs.
+//!
+//! Mirrors NR NSA measurement-report behaviour at 1 Hz granularity:
+//!
+//! - **Horizontal handoff** (panel → panel, Table 1): triggered when a
+//!   neighbour panel's RSRP exceeds the serving panel's by a hysteresis
+//!   margin for a time-to-trigger; costs a sub-second outage gap.
+//! - **Vertical handoff down** (5G → LTE): when the serving 5G SINR stays
+//!   below the outage threshold; costs a longer gap and a TCP path change.
+//! - **Vertical handoff up** (LTE → 5G): when any panel's SINR recovers
+//!   above the entry threshold for the time-to-trigger.
+//!
+//! The frequent handoff patches the paper annotates in Fig 9 emerge from
+//! this machine interacting with the obstacle geometry.
+
+use crate::tcp::BulkSession;
+use lumos5g_radio::PanelSignal;
+
+/// Which radio the UE is currently using (the `radio type` log field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RadioType {
+    /// Attached to a 5G mmWave panel.
+    FiveG,
+    /// Fallen back to 4G LTE.
+    Lte,
+}
+
+/// Handoff tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HandoffConfig {
+    /// Neighbour must beat serving RSRP by this margin, dB (A3 offset).
+    pub hysteresis_db: f64,
+    /// Consecutive seconds the condition must hold before acting.
+    pub time_to_trigger_s: u32,
+    /// Serving SINR below this → candidate for LTE fallback, dB.
+    pub q_out_sinr_db: f64,
+    /// Best 5G SINR above this → candidate for return to 5G, dB.
+    pub q_in_sinr_db: f64,
+    /// Fraction of one second lost to a horizontal handoff.
+    pub horizontal_gap: f64,
+    /// Fraction of one second lost to a vertical handoff.
+    pub vertical_gap: f64,
+}
+
+impl Default for HandoffConfig {
+    fn default() -> Self {
+        HandoffConfig {
+            hysteresis_db: 3.0,
+            time_to_trigger_s: 2,
+            q_out_sinr_db: -5.0,
+            q_in_sinr_db: 2.0,
+            horizontal_gap: 0.4,
+            vertical_gap: 0.8,
+        }
+    }
+}
+
+/// What the connection manager decided for the current second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDecision {
+    /// Radio in use after this second's decisions.
+    pub radio: RadioType,
+    /// Serving panel id when on 5G.
+    pub serving_panel: Option<u32>,
+    /// Link capacity available to TCP this second, Mbps (already reduced by
+    /// any handoff gap).
+    pub capacity_mbps: f64,
+    /// A panel→panel handoff happened this second.
+    pub horizontal_handoff: bool,
+    /// A 5G↔LTE handoff happened this second.
+    pub vertical_handoff: bool,
+    /// Serving-link RSRP (5G) this second, dBm, when on 5G.
+    pub rsrp_dbm: Option<f64>,
+    /// Serving-link SINR, dB, when on 5G.
+    pub sinr_db: Option<f64>,
+}
+
+/// RSRP/SINR driven attach + handoff state machine.
+#[derive(Debug, Clone)]
+pub struct ConnectionManager {
+    cfg: HandoffConfig,
+    radio: RadioType,
+    serving: Option<u32>,
+    better_neighbor_count: u32,
+    low_sinr_count: u32,
+    good_5g_count: u32,
+}
+
+impl ConnectionManager {
+    /// Start attached to whatever is best at the first step.
+    pub fn new(cfg: HandoffConfig) -> Self {
+        ConnectionManager {
+            cfg,
+            radio: RadioType::Lte,
+            serving: None,
+            better_neighbor_count: 0,
+            low_sinr_count: 0,
+            good_5g_count: 0,
+        }
+    }
+
+    /// Current radio type.
+    pub fn radio(&self) -> RadioType {
+        self.radio
+    }
+
+    /// One 1 Hz step. `signals` are this second's per-panel measurements;
+    /// `lte_capacity_mbps` is the LTE fallback throughput at the UE's
+    /// location. `session` is notified of path changes.
+    pub fn step(
+        &mut self,
+        signals: &[PanelSignal],
+        lte_capacity_mbps: f64,
+        session: &mut BulkSession,
+    ) -> LinkDecision {
+        let best = signals
+            .iter()
+            .max_by(|a, b| a.rsrp_dbm.partial_cmp(&b.rsrp_dbm).expect("finite RSRP"));
+
+        let mut horizontal = false;
+        let mut vertical = false;
+
+        match (self.radio, self.serving) {
+            (RadioType::FiveG, Some(serving_id)) => {
+                let serving = signals.iter().find(|s| s.panel_id == serving_id);
+                match serving {
+                    None => {
+                        // Serving panel vanished (left the area): drop to LTE.
+                        self.to_lte(session);
+                        vertical = true;
+                    }
+                    Some(sv) => {
+                        // Radio-link-failure check.
+                        if sv.sinr_db < self.cfg.q_out_sinr_db {
+                            self.low_sinr_count += 1;
+                        } else {
+                            self.low_sinr_count = 0;
+                        }
+                        // A3 neighbour check.
+                        let better = best
+                            .filter(|b| b.panel_id != serving_id)
+                            .filter(|b| b.rsrp_dbm > sv.rsrp_dbm + self.cfg.hysteresis_db);
+                        if better.is_some() {
+                            self.better_neighbor_count += 1;
+                        } else {
+                            self.better_neighbor_count = 0;
+                        }
+
+                        if self.low_sinr_count >= self.cfg.time_to_trigger_s {
+                            self.to_lte(session);
+                            vertical = true;
+                        } else if self.better_neighbor_count >= self.cfg.time_to_trigger_s {
+                            self.serving = better.map(|b| b.panel_id);
+                            self.better_neighbor_count = 0;
+                            horizontal = true;
+                        }
+                    }
+                }
+            }
+            _ => {
+                // On LTE (or unattached): consider going (back) to 5G.
+                if let Some(b) = best {
+                    if b.sinr_db > self.cfg.q_in_sinr_db {
+                        self.good_5g_count += 1;
+                    } else {
+                        self.good_5g_count = 0;
+                    }
+                    if self.good_5g_count >= self.cfg.time_to_trigger_s || self.serving.is_none() && self.radio == RadioType::Lte && b.sinr_db > self.cfg.q_in_sinr_db + 6.0 {
+                        self.radio = RadioType::FiveG;
+                        self.serving = Some(b.panel_id);
+                        self.good_5g_count = 0;
+                        self.low_sinr_count = 0;
+                        session.on_path_change();
+                        vertical = true;
+                    }
+                }
+            }
+        }
+
+        // Capacity for this second under the final state.
+        let (capacity, rsrp, sinr) = match (self.radio, self.serving) {
+            (RadioType::FiveG, Some(id)) => {
+                let s = signals
+                    .iter()
+                    .find(|s| s.panel_id == id)
+                    .expect("serving panel present after decision");
+                (s.capacity_mbps, Some(s.rsrp_dbm), Some(s.sinr_db))
+            }
+            _ => (lte_capacity_mbps, None, None),
+        };
+        let gap = if vertical {
+            self.cfg.vertical_gap
+        } else if horizontal {
+            self.cfg.horizontal_gap
+        } else {
+            0.0
+        };
+
+        LinkDecision {
+            radio: self.radio,
+            serving_panel: self.serving.filter(|_| self.radio == RadioType::FiveG),
+            capacity_mbps: capacity * (1.0 - gap),
+            horizontal_handoff: horizontal,
+            vertical_handoff: vertical,
+            rsrp_dbm: rsrp,
+            sinr_db: sinr,
+        }
+    }
+
+    fn to_lte(&mut self, session: &mut BulkSession) {
+        self.radio = RadioType::Lte;
+        self.serving = None;
+        self.low_sinr_count = 0;
+        self.better_neighbor_count = 0;
+        self.good_5g_count = 0;
+        session.on_path_change();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcp::TcpConfig;
+
+    fn sig(id: u32, rsrp: f64, sinr: f64, cap: f64) -> PanelSignal {
+        PanelSignal {
+            panel_id: id,
+            rsrp_dbm: rsrp,
+            sinr_db: sinr,
+            capacity_mbps: cap,
+            los: true,
+            distance_m: 50.0,
+            theta_p_deg: 0.0,
+            theta_m_deg: 180.0,
+        }
+    }
+
+    fn new_mgr() -> (ConnectionManager, BulkSession) {
+        (
+            ConnectionManager::new(HandoffConfig::default()),
+            BulkSession::new(TcpConfig::iperf_default(), 42),
+        )
+    }
+
+    #[test]
+    fn attaches_to_strong_5g_immediately() {
+        let (mut m, mut s) = new_mgr();
+        let d = m.step(&[sig(1, -60.0, 30.0, 2000.0)], 120.0, &mut s);
+        assert_eq!(d.radio, RadioType::FiveG);
+        assert_eq!(d.serving_panel, Some(1));
+        assert!(d.vertical_handoff);
+    }
+
+    #[test]
+    fn stays_on_lte_when_5g_weak() {
+        let (mut m, mut s) = new_mgr();
+        let d = m.step(&[sig(1, -110.0, -8.0, 0.0)], 120.0, &mut s);
+        assert_eq!(d.radio, RadioType::Lte);
+        assert_eq!(d.capacity_mbps, 120.0);
+    }
+
+    #[test]
+    fn horizontal_handoff_requires_ttt() {
+        let (mut m, mut s) = new_mgr();
+        m.step(&[sig(1, -60.0, 30.0, 2000.0)], 120.0, &mut s);
+        // Panel 2 becomes better by more than hysteresis.
+        let sigs = [sig(1, -80.0, 10.0, 900.0), sig(2, -65.0, 25.0, 1800.0)];
+        let d1 = m.step(&sigs, 120.0, &mut s);
+        assert!(!d1.horizontal_handoff, "should wait for TTT");
+        let d2 = m.step(&sigs, 120.0, &mut s);
+        assert!(d2.horizontal_handoff);
+        assert_eq!(d2.serving_panel, Some(2));
+        // Gap reduces capacity below the raw link rate.
+        assert!(d2.capacity_mbps < 1800.0);
+    }
+
+    #[test]
+    fn hysteresis_prevents_ping_pong() {
+        let (mut m, mut s) = new_mgr();
+        m.step(&[sig(1, -60.0, 30.0, 2000.0)], 120.0, &mut s);
+        // Panel 2 only 1 dB better: inside hysteresis, no handoff ever.
+        let sigs = [sig(1, -60.0, 30.0, 2000.0), sig(2, -59.0, 31.0, 2000.0)];
+        for _ in 0..5 {
+            let d = m.step(&sigs, 120.0, &mut s);
+            assert!(!d.horizontal_handoff);
+            assert_eq!(d.serving_panel, Some(1));
+        }
+    }
+
+    #[test]
+    fn sustained_low_sinr_falls_back_to_lte() {
+        let (mut m, mut s) = new_mgr();
+        m.step(&[sig(1, -60.0, 30.0, 2000.0)], 120.0, &mut s);
+        let bad = [sig(1, -105.0, -9.0, 0.0)];
+        let d1 = m.step(&bad, 120.0, &mut s);
+        assert_eq!(d1.radio, RadioType::FiveG, "TTT not yet expired");
+        let d2 = m.step(&bad, 120.0, &mut s);
+        assert_eq!(d2.radio, RadioType::Lte);
+        assert!(d2.vertical_handoff);
+    }
+
+    #[test]
+    fn returns_to_5g_after_recovery() {
+        let (mut m, mut s) = new_mgr();
+        m.step(&[sig(1, -60.0, 30.0, 2000.0)], 120.0, &mut s);
+        let bad = [sig(1, -105.0, -9.0, 0.0)];
+        m.step(&bad, 120.0, &mut s);
+        m.step(&bad, 120.0, &mut s); // now on LTE
+        assert_eq!(m.radio(), RadioType::Lte);
+        let good = [sig(1, -70.0, 20.0, 1500.0)];
+        // strong recovery attaches fast
+        let d = m.step(&good, 120.0, &mut s);
+        assert_eq!(d.radio, RadioType::FiveG);
+        assert!(d.vertical_handoff);
+    }
+
+    #[test]
+    fn transient_dip_does_not_trigger_fallback() {
+        let (mut m, mut s) = new_mgr();
+        m.step(&[sig(1, -60.0, 30.0, 2000.0)], 120.0, &mut s);
+        m.step(&[sig(1, -105.0, -9.0, 0.0)], 120.0, &mut s); // 1s dip
+        let d = m.step(&[sig(1, -60.0, 30.0, 2000.0)], 120.0, &mut s);
+        assert_eq!(d.radio, RadioType::FiveG);
+        assert!(!d.vertical_handoff);
+    }
+
+    #[test]
+    fn empty_signals_drop_to_lte() {
+        let (mut m, mut s) = new_mgr();
+        m.step(&[sig(1, -60.0, 30.0, 2000.0)], 120.0, &mut s);
+        let d = m.step(&[], 120.0, &mut s);
+        assert_eq!(d.radio, RadioType::Lte);
+        assert!(d.vertical_handoff);
+    }
+}

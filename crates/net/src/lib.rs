@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+
+//! # lumos5g-net
+//!
+//! Network substrate: turns per-second radio link capacities into the
+//! *application-perceived* throughput the paper actually measures.
+//!
+//! The paper's ground truth is iPerf 3.7 bulk transfer over **8 parallel TCP
+//! connections** (§3.1 — one connection could not saturate mmWave's downlink).
+//! Application goodput therefore differs from raw link capacity: slow-start
+//! ramp-ups after handoffs, congestion-window dynamics, and receive-window
+//! limits all shape the traces. This crate models that pipeline:
+//!
+//! - [`tcp`]: a fluid-model TCP with slow start, AIMD congestion avoidance,
+//!   receive-window caps and a shared bottleneck queue; [`tcp::BulkSession`]
+//!   is the iPerf-like harness reporting per-second goodput.
+//! - [`handoff`]: the RSRP-hysteresis connection manager producing the
+//!   horizontal (panel→panel) and vertical (5G↔LTE) handoffs of Table 1,
+//!   with outage gaps during each transition.
+//! - [`scheduler`]: an equal-share (proportional-fair with symmetric
+//!   channels) panel scheduler used for the multi-UE congestion experiment
+//!   (App A.1.4, Fig 21).
+
+pub mod handoff;
+pub mod scheduler;
+pub mod tcp;
+
+pub use handoff::{ConnectionManager, HandoffConfig, LinkDecision, RadioType};
+pub use scheduler::PanelScheduler;
+pub use tcp::{BulkSession, CongestionControl, TcpConfig};

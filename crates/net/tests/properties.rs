@@ -1,0 +1,84 @@
+//! Property-based tests of the network substrate.
+
+use lumos5g_net::{BulkSession, ConnectionManager, HandoffConfig, PanelScheduler, RadioType, TcpConfig};
+use lumos5g_radio::PanelSignal;
+use proptest::prelude::*;
+
+fn sig(id: u32, rsrp: f64, sinr: f64, cap: f64) -> PanelSignal {
+    PanelSignal {
+        panel_id: id,
+        rsrp_dbm: rsrp,
+        sinr_db: sinr,
+        capacity_mbps: cap,
+        los: true,
+        distance_m: 50.0,
+        theta_p_deg: 0.0,
+        theta_m_deg: 180.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn goodput_conservation(
+        caps in prop::collection::vec(0.0f64..2500.0, 3..30),
+        seed in 0u64..500,
+        conns in 1usize..12,
+    ) {
+        let cfg = TcpConfig { connections: conns, ..TcpConfig::iperf_default() };
+        let mut s = BulkSession::new(cfg, seed);
+        let mut total_bytes = 0.0;
+        for &c in &caps {
+            let g = s.step_second(c);
+            prop_assert!(g >= 0.0 && g <= c + 1e-9);
+            total_bytes += g * 1e6 / 8.0;
+        }
+        prop_assert!((s.total_bytes() - total_bytes).abs() < 1.0);
+    }
+
+    #[test]
+    fn scheduler_allocations_sum_to_airtime_share(
+        caps in prop::collection::vec(1.0f64..2000.0, 1..8),
+    ) {
+        let mut sched = PanelScheduler::new();
+        for (i, &c) in caps.iter().enumerate() {
+            sched.register(i as u64, c);
+        }
+        let alloc = sched.allocate();
+        let n = caps.len() as f64;
+        for (i, &c) in caps.iter().enumerate() {
+            prop_assert!((alloc[&(i as u64)] - c / n).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn handoff_capacity_never_negative(
+        rsrps in prop::collection::vec(-130.0f64..-50.0, 5..25),
+        lte in 0.0f64..280.0,
+    ) {
+        let mut mgr = ConnectionManager::new(HandoffConfig::default());
+        let mut session = BulkSession::new(TcpConfig::iperf_default(), 1);
+        for (t, &r) in rsrps.iter().enumerate() {
+            let sinr = r + 79.0;
+            let cap = lumos5g_radio::capacity_mbps(sinr, &Default::default());
+            let d = mgr.step(&[sig(1, r, sinr, cap)], lte, &mut session);
+            prop_assert!(d.capacity_mbps >= 0.0, "t={t}");
+            // Serving panel set iff on 5G.
+            prop_assert_eq!(d.serving_panel.is_some(), d.radio == RadioType::FiveG);
+        }
+    }
+
+    #[test]
+    fn strong_stable_signal_eventually_attaches_5g(rsrp in -75.0f64..-55.0) {
+        let mut mgr = ConnectionManager::new(HandoffConfig::default());
+        let mut session = BulkSession::new(TcpConfig::iperf_default(), 2);
+        let mut attached = false;
+        for _ in 0..5 {
+            let sinr = rsrp + 79.0;
+            let d = mgr.step(&[sig(1, rsrp, sinr, 1500.0)], 120.0, &mut session);
+            attached = d.radio == RadioType::FiveG;
+        }
+        prop_assert!(attached);
+    }
+}

@@ -1,0 +1,82 @@
+//! Directional panel antenna pattern.
+//!
+//! mmWave panels are highly directional (§2, footnote 2). We use the 3GPP
+//! TR 38.901 parabolic element pattern: relative gain
+//! `G(Δ) = −min(12·(Δ/θ₃dB)², A_max)` dB at angular offset `Δ` from
+//! boresight, with a front-to-back ratio cap. This produces exactly the
+//! F ≫ L/R ≫ B ordering the paper measures for the positional-angle sectors
+//! (Fig 13).
+
+use lumos5g_geo::fold_angle_deg;
+
+/// A parabolic main-lobe pattern with a side/back-lobe floor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AntennaPattern {
+    /// Peak boresight gain, dBi.
+    pub max_gain_dbi: f64,
+    /// Half-power (3 dB) beamwidth, degrees.
+    pub beamwidth_3db_deg: f64,
+    /// Maximum attenuation relative to boresight, dB (front-to-back ratio).
+    pub max_attenuation_db: f64,
+}
+
+impl AntennaPattern {
+    /// A typical mmWave sector panel: 23 dBi peak, 65° beamwidth, 30 dB FBR.
+    pub fn sector_default() -> Self {
+        AntennaPattern {
+            max_gain_dbi: 23.0,
+            beamwidth_3db_deg: 65.0,
+            max_attenuation_db: 30.0,
+        }
+    }
+
+    /// Gain in dBi at angular offset `theta_deg` from boresight. The offset
+    /// may be any full-circle angle; it is folded to `[0°, 180°]`.
+    pub fn gain_dbi(&self, theta_deg: f64) -> f64 {
+        let delta = fold_angle_deg(theta_deg);
+        let rel = 12.0 * (delta / self.beamwidth_3db_deg).powi(2);
+        self.max_gain_dbi - rel.min(self.max_attenuation_db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boresight_is_peak() {
+        let a = AntennaPattern::sector_default();
+        assert!((a.gain_dbi(0.0) - 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_power_at_half_beamwidth() {
+        let a = AntennaPattern::sector_default();
+        // At Δ = θ3dB/2 the parabolic pattern gives exactly −3 dB.
+        assert!((a.gain_dbi(32.5) - (23.0 - 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn back_lobe_hits_floor() {
+        let a = AntennaPattern::sector_default();
+        assert!((a.gain_dbi(180.0) - (23.0 - 30.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pattern_is_symmetric() {
+        let a = AntennaPattern::sector_default();
+        assert!((a.gain_dbi(40.0) - a.gain_dbi(-40.0)).abs() < 1e-12);
+        assert!((a.gain_dbi(40.0) - a.gain_dbi(320.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_is_monotone_out_to_floor() {
+        let a = AntennaPattern::sector_default();
+        let mut last = f64::INFINITY;
+        for d in [0.0, 10.0, 30.0, 60.0, 90.0, 120.0] {
+            let g = a.gain_dbi(d);
+            assert!(g <= last + 1e-12);
+            last = g;
+        }
+    }
+}

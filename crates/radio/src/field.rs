@@ -1,0 +1,453 @@
+//! The composite radio field: panels + obstacles + shadowing → per-panel
+//! RSRP / SINR / capacity for a UE state.
+//!
+//! This is the "ground truth physics" the campaign simulator samples every
+//! second. Default constants are calibrated so that the simulated areas
+//! reproduce the paper's envelope: ≈2 Gbps peaks near a panel with LoS,
+//! decay setting in beyond ~30 m, 4G-like or zero throughput behind panels
+//! and across obstructions, and a strong walking-vs-driving gap (Fig 14).
+
+use crate::antenna::AntennaPattern;
+use crate::capacity::{capacity_mbps, CapacityConfig};
+use crate::fading::ShadowField;
+use crate::obstacles::ObstacleMap;
+use crate::pathloss::{ci_path_loss_db, PathLossEnv};
+use lumos5g_geo::{bearing_deg, mobility_angle_deg, positional_angle_deg, signed_delta_deg, PanelPose, Point2};
+
+/// How the UE is being carried (§4.6: mode of transport matters beyond
+/// ground speed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportMode {
+    /// UE static (hand-held or mounted), no body rotation.
+    Stationary,
+    /// Hand-held in front of a walking user: the body shadows the back
+    /// half-plane.
+    Walking,
+    /// Mounted on a car windshield: car-body penetration loss plus a
+    /// speed-dependent beam-tracking penalty.
+    Driving,
+}
+
+/// Kinematic state of the UE at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UeState {
+    /// Position in the area's local frame, meters.
+    pub pos: Point2,
+    /// Compass direction of travel, degrees (0° = North).
+    pub heading_deg: f64,
+    /// Ground speed, m/s.
+    pub speed_mps: f64,
+    /// Transport mode.
+    pub mode: TransportMode,
+}
+
+/// A deployed mmWave panel (one face of a tower installation; towers in the
+/// paper's areas carry one to three panels facing different directions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Panel {
+    /// Stable identifier; becomes the `cell ID` field of the logs.
+    pub id: u32,
+    /// Position and facing direction.
+    pub pose: PanelPose,
+    /// Antenna pattern of the face.
+    pub pattern: AntennaPattern,
+    /// Effective isotropic radiated power excluding the pattern gain, dBm.
+    pub eirp_dbm: f64,
+}
+
+impl Panel {
+    /// A panel with default pattern and power at `pose`.
+    pub fn new(id: u32, pose: PanelPose) -> Self {
+        Panel {
+            id,
+            pose,
+            pattern: AntennaPattern::sector_default(),
+            eirp_dbm: 20.0,
+        }
+    }
+}
+
+/// Tunable physics constants.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioConfig {
+    /// Carrier frequency, GHz.
+    pub freq_ghz: f64,
+    /// Receiver noise figure, dB.
+    pub noise_figure_db: f64,
+    /// UE-side beamforming gain, dBi.
+    pub ue_gain_dbi: f64,
+    /// Loss when the user's body sits between UE and panel, dB (§4.4;
+    /// measured 15–25 dB at 28 GHz \[67\]).
+    pub body_loss_db: f64,
+    /// Half-angle of the body shadow behind a walking user, degrees: the
+    /// panel is considered blocked when it lies within this cone behind the
+    /// direction of travel.
+    pub body_halfangle_deg: f64,
+    /// Cap on total obstruction loss, dB — reflective NLoS paths provide a
+    /// floor (§4.4's "outlier" deflections).
+    pub nlos_cap_db: f64,
+    /// Car-body penetration loss while driving, dB.
+    pub vehicle_loss_db: f64,
+    /// Driving beam-tracking penalty coefficient: extra loss =
+    /// `coeff · √max(0, v − v₀)` dB with `v` in m/s.
+    pub speed_penalty_coeff: f64,
+    /// Speed v₀ below which driving incurs no tracking penalty, m/s
+    /// (≈5 km/h per Fig 14a).
+    pub speed_penalty_floor_mps: f64,
+    /// Fraction of each non-serving panel's received power counted as
+    /// co-channel interference (0 = noise-limited, the default: mmWave
+    /// beamforming largely nulls other panels; >0 models loaded cells
+    /// leaking into the UE's beam).
+    pub interference_factor: f64,
+    /// SINR → capacity mapping.
+    pub capacity: CapacityConfig,
+}
+
+impl Default for RadioConfig {
+    fn default() -> Self {
+        RadioConfig {
+            freq_ghz: 28.0,
+            noise_figure_db: 9.0,
+            ue_gain_dbi: 0.0,
+            body_loss_db: 16.0,
+            body_halfangle_deg: 70.0,
+            nlos_cap_db: 25.0,
+            vehicle_loss_db: 9.0,
+            speed_penalty_coeff: 3.0,
+            speed_penalty_floor_mps: 1.4,
+            interference_factor: 0.0,
+            capacity: CapacityConfig::default(),
+        }
+    }
+}
+
+impl RadioConfig {
+    /// Thermal noise floor over the configured bandwidth, dBm.
+    pub fn noise_floor_dbm(&self) -> f64 {
+        -174.0 + 10.0 * self.capacity.bandwidth_hz.log10() + self.noise_figure_db
+    }
+}
+
+/// The signal a UE receives from one panel at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PanelSignal {
+    /// Panel identifier.
+    pub panel_id: u32,
+    /// Received power, dBm (plays the role of `ssRsrp` in the logs).
+    pub rsrp_dbm: f64,
+    /// Signal-to-noise ratio, dB.
+    pub sinr_db: f64,
+    /// Truncated-Shannon link capacity, Mbps.
+    pub capacity_mbps: f64,
+    /// Whether the geometric path is unobstructed.
+    pub los: bool,
+    /// UE–panel distance, meters.
+    pub distance_m: f64,
+    /// Positional angle θp, degrees in [0, 360).
+    pub theta_p_deg: f64,
+    /// Mobility angle θm, degrees in [0, 360).
+    pub theta_m_deg: f64,
+}
+
+/// A complete radio environment: panels, obstructions and the shadowing
+/// terrain of one measurement area.
+#[derive(Debug, Clone)]
+pub struct RadioField {
+    /// Deployed panels.
+    pub panels: Vec<Panel>,
+    /// Obstruction map.
+    pub obstacles: ObstacleMap,
+    /// Deterministic shadowing terrain.
+    pub shadow: ShadowField,
+    /// Physics constants.
+    pub cfg: RadioConfig,
+}
+
+impl RadioField {
+    /// Assemble a field.
+    pub fn new(panels: Vec<Panel>, obstacles: ObstacleMap, shadow: ShadowField, cfg: RadioConfig) -> Self {
+        RadioField {
+            panels,
+            obstacles,
+            shadow,
+            cfg,
+        }
+    }
+
+    /// Evaluate the signal from every panel for UE state `ue`, adding
+    /// `fading_db` of (caller-owned, per-pass) fast fading to each link.
+    ///
+    /// When [`RadioConfig::interference_factor`] is positive, each panel's
+    /// SINR counts that fraction of every *other* panel's received power as
+    /// co-channel interference; at the default 0 the links are
+    /// noise-limited (beamforming nulls the other panels).
+    pub fn evaluate(&self, ue: &UeState, fading_db: f64) -> Vec<PanelSignal> {
+        let mut signals: Vec<PanelSignal> = self
+            .panels
+            .iter()
+            .map(|p| self.evaluate_panel(p, ue, fading_db))
+            .collect();
+        let f = self.cfg.interference_factor;
+        if f > 0.0 && signals.len() > 1 {
+            let noise_lin = 10f64.powf(self.cfg.noise_floor_dbm() / 10.0);
+            let rx_lin: Vec<f64> = signals
+                .iter()
+                .map(|s| 10f64.powf(s.rsrp_dbm / 10.0))
+                .collect();
+            let total: f64 = rx_lin.iter().sum();
+            for (s, &own) in signals.iter_mut().zip(&rx_lin) {
+                let interference = f * (total - own);
+                s.sinr_db = s.rsrp_dbm - 10.0 * (noise_lin + interference).log10();
+                s.capacity_mbps = capacity_mbps(s.sinr_db, &self.cfg.capacity);
+            }
+        }
+        signals
+    }
+
+    /// Signal from a single panel.
+    pub fn evaluate_panel(&self, panel: &Panel, ue: &UeState, fading_db: f64) -> PanelSignal {
+        let d = panel.pose.distance_to(ue.pos);
+        let theta_p = positional_angle_deg(&panel.pose, ue.pos);
+        let theta_m = mobility_angle_deg(&panel.pose, ue.heading_deg);
+
+        let penetration = self.obstacles.penetration_loss_db(panel.pose.position, ue.pos);
+        let los = penetration == 0.0;
+        let env = if los { PathLossEnv::Los } else { PathLossEnv::Nlos };
+        let pl = ci_path_loss_db(self.cfg.freq_ghz, d, env);
+        let obstruction = penetration.min(self.cfg.nlos_cap_db);
+
+        let mut extra = 0.0;
+        match ue.mode {
+            TransportMode::Walking => {
+                if self.body_blocks(panel, ue) {
+                    extra += self.cfg.body_loss_db;
+                }
+            }
+            TransportMode::Driving => {
+                extra += self.cfg.vehicle_loss_db;
+                let over = (ue.speed_mps - self.cfg.speed_penalty_floor_mps).max(0.0);
+                extra += self.cfg.speed_penalty_coeff * over.sqrt();
+            }
+            TransportMode::Stationary => {}
+        }
+
+        let rsrp = panel.eirp_dbm
+            + panel.pattern.gain_dbi(theta_p)
+            + self.cfg.ue_gain_dbi
+            - pl
+            - obstruction
+            - extra
+            + self.shadow.sample_db(ue.pos)
+            + fading_db;
+        let sinr = rsrp - self.cfg.noise_floor_dbm();
+        PanelSignal {
+            panel_id: panel.id,
+            rsrp_dbm: rsrp,
+            sinr_db: sinr,
+            capacity_mbps: capacity_mbps(sinr, &self.cfg.capacity),
+            los,
+            distance_m: d,
+            theta_p_deg: theta_p,
+            theta_m_deg: theta_m,
+        }
+    }
+
+    /// The strongest panel signal, if any panel exists.
+    pub fn best_signal(&self, ue: &UeState, fading_db: f64) -> Option<PanelSignal> {
+        self.evaluate(ue, fading_db)
+            .into_iter()
+            .max_by(|a, b| a.rsrp_dbm.partial_cmp(&b.rsrp_dbm).expect("finite RSRP"))
+    }
+
+    /// True when the walking user's body sits between the hand-held UE and
+    /// the panel: the panel's bearing (from the UE) falls in a cone around
+    /// the direction opposite to travel.
+    fn body_blocks(&self, panel: &Panel, ue: &UeState) -> bool {
+        if ue.speed_mps < 0.1 {
+            return false; // effectively stationary; user orientation unknown
+        }
+        let bearing_to_panel = bearing_deg(ue.pos.x, ue.pos.y, panel.pose.position.x, panel.pose.position.y);
+        let off_heading = signed_delta_deg(ue.heading_deg, bearing_to_panel).abs();
+        off_heading > 180.0 - self.cfg.body_halfangle_deg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos5g_geo::PanelPose;
+
+    /// One north-facing panel at the origin, no obstacles, flat shadowing.
+    fn simple_field() -> RadioField {
+        let panel = Panel::new(1, PanelPose::new(Point2::new(0.0, 0.0), 0.0));
+        RadioField::new(
+            vec![panel],
+            ObstacleMap::new(),
+            ShadowField::new(1, 10.0, 0.0), // zero-sigma: deterministic tests
+            RadioConfig::default(),
+        )
+    }
+
+    fn ue_at(x: f64, y: f64, heading: f64, mode: TransportMode, speed: f64) -> UeState {
+        UeState {
+            pos: Point2::new(x, y),
+            heading_deg: heading,
+            speed_mps: speed,
+            mode,
+        }
+    }
+
+    #[test]
+    fn close_frontal_ue_saturates_capacity() {
+        let f = simple_field();
+        // 15 m in front, stationary.
+        let s = f.best_signal(&ue_at(0.0, 15.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        assert!(s.los);
+        assert_eq!(s.capacity_mbps, 2_000.0);
+    }
+
+    #[test]
+    fn capacity_decays_with_distance() {
+        let f = simple_field();
+        let near = f.best_signal(&ue_at(0.0, 30.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        let far = f.best_signal(&ue_at(0.0, 250.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        assert!(near.capacity_mbps > far.capacity_mbps);
+        assert!(far.capacity_mbps < 1_500.0, "far = {}", far.capacity_mbps);
+    }
+
+    #[test]
+    fn behind_panel_is_much_worse_than_front() {
+        let f = simple_field();
+        let front = f.best_signal(&ue_at(0.0, 40.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        let back = f.best_signal(&ue_at(0.0, -40.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        assert!(front.rsrp_dbm - back.rsrp_dbm > 25.0);
+    }
+
+    #[test]
+    fn obstacle_forces_nlos_and_reduces_capacity() {
+        let mut f = simple_field();
+        f.obstacles.push(crate::obstacles::Obstacle::Aabb {
+            min: Point2::new(-5.0, 50.0),
+            max: Point2::new(5.0, 60.0),
+            loss_db: 40.0,
+        });
+        let blocked = f.best_signal(&ue_at(0.0, 100.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        assert!(!blocked.los);
+        let clear = f.best_signal(&ue_at(30.0, 100.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        assert!(clear.los);
+        assert!(clear.capacity_mbps > blocked.capacity_mbps);
+    }
+
+    #[test]
+    fn nlos_loss_is_capped() {
+        let mut f = simple_field();
+        f.obstacles.push(crate::obstacles::Obstacle::Aabb {
+            min: Point2::new(-5.0, 50.0),
+            max: Point2::new(5.0, 60.0),
+            loss_db: 500.0, // absurd raw loss
+        });
+        let s = f.best_signal(&ue_at(0.0, 100.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        // Capped at nlos_cap_db (25), so the link survives via "reflection".
+        assert!(s.rsrp_dbm > -120.0);
+    }
+
+    #[test]
+    fn walking_away_triggers_body_blockage() {
+        let f = simple_field();
+        // UE north of the panel walking further north (panel behind user).
+        let away = f.best_signal(&ue_at(0.0, 60.0, 0.0, TransportMode::Walking, 1.4), 0.0).unwrap();
+        // Walking toward the panel (southward) from the same spot.
+        let toward = f.best_signal(&ue_at(0.0, 60.0, 180.0, TransportMode::Walking, 1.4), 0.0).unwrap();
+        assert!((toward.rsrp_dbm - away.rsrp_dbm - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theta_m_reported_per_convention() {
+        let f = simple_field();
+        let s = f.best_signal(&ue_at(0.0, 60.0, 180.0, TransportMode::Walking, 1.4), 0.0).unwrap();
+        assert!((s.theta_m_deg - 180.0).abs() < 1e-9); // head-on
+    }
+
+    #[test]
+    fn driving_fast_is_worse_than_driving_slow() {
+        let f = simple_field();
+        let slow = f.best_signal(&ue_at(0.0, 80.0, 0.0, TransportMode::Driving, 1.0), 0.0).unwrap();
+        let fast = f.best_signal(&ue_at(0.0, 80.0, 0.0, TransportMode::Driving, 12.0), 0.0).unwrap();
+        assert!(slow.rsrp_dbm > fast.rsrp_dbm + 5.0);
+    }
+
+    #[test]
+    fn driving_is_worse_than_walking_toward() {
+        let f = simple_field();
+        let walk = f.best_signal(&ue_at(0.0, 80.0, 180.0, TransportMode::Walking, 1.4), 0.0).unwrap();
+        let drive = f.best_signal(&ue_at(0.0, 80.0, 180.0, TransportMode::Driving, 8.0), 0.0).unwrap();
+        assert!(walk.capacity_mbps > drive.capacity_mbps);
+    }
+
+    #[test]
+    fn best_signal_picks_strongest_of_two_panels() {
+        let p1 = Panel::new(1, PanelPose::new(Point2::new(0.0, 0.0), 0.0));
+        let p2 = Panel::new(2, PanelPose::new(Point2::new(0.0, 200.0), 180.0));
+        let f = RadioField::new(
+            vec![p1, p2],
+            ObstacleMap::new(),
+            ShadowField::new(1, 10.0, 0.0),
+            RadioConfig::default(),
+        );
+        let near_p1 = f.best_signal(&ue_at(0.0, 20.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        assert_eq!(near_p1.panel_id, 1);
+        let near_p2 = f.best_signal(&ue_at(0.0, 180.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        assert_eq!(near_p2.panel_id, 2);
+    }
+
+    #[test]
+    fn interference_reduces_sinr_of_contested_links() {
+        // Two panels both reaching the UE: with interference on, each
+        // link's SINR drops relative to the noise-limited case.
+        let p1 = Panel::new(1, PanelPose::new(Point2::new(0.0, 0.0), 0.0));
+        let p2 = Panel::new(2, PanelPose::new(Point2::new(0.0, 120.0), 180.0));
+        let mk = |f: f64| {
+            RadioField::new(
+                vec![p1, p2],
+                ObstacleMap::new(),
+                ShadowField::new(1, 10.0, 0.0),
+                RadioConfig {
+                    interference_factor: f,
+                    ..RadioConfig::default()
+                },
+            )
+        };
+        let ue = ue_at(0.0, 60.0, 0.0, TransportMode::Stationary, 0.0);
+        let clean = mk(0.0).evaluate(&ue, 0.0);
+        let loaded = mk(0.5).evaluate(&ue, 0.0);
+        for (c, l) in clean.iter().zip(&loaded) {
+            assert!(l.sinr_db < c.sinr_db, "panel {}: {} !< {}", c.panel_id, l.sinr_db, c.sinr_db);
+            assert_eq!(l.rsrp_dbm, c.rsrp_dbm); // interference affects SINR only
+        }
+    }
+
+    #[test]
+    fn zero_interference_factor_matches_noise_limited_path() {
+        let f = simple_field();
+        let ue = ue_at(0.0, 50.0, 0.0, TransportMode::Stationary, 0.0);
+        let via_eval = f.evaluate(&ue, 0.0)[0];
+        let via_panel = f.evaluate_panel(&f.panels[0], &ue, 0.0);
+        assert_eq!(via_eval, via_panel);
+    }
+
+    #[test]
+    fn fading_shifts_rsrp_directly() {
+        let f = simple_field();
+        let ue = ue_at(0.0, 50.0, 0.0, TransportMode::Stationary, 0.0);
+        let base = f.best_signal(&ue, 0.0).unwrap();
+        let faded = f.best_signal(&ue, -7.0).unwrap();
+        assert!((base.rsrp_dbm - faded.rsrp_dbm - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_floor_matches_formula() {
+        let cfg = RadioConfig::default();
+        // −174 + 10·log10(400e6) + 9 ≈ −78.98 dBm.
+        assert!((cfg.noise_floor_dbm() + 78.98).abs() < 0.05);
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # lumos5g-radio
+//!
+//! mmWave 5G radio propagation simulator — the physical substrate that
+//! replaces the paper's drive/walk measurements of Verizon's commercial
+//! 28 GHz deployment (see DESIGN.md, "Substitutions").
+//!
+//! The model reproduces every qualitative effect §4 of the paper documents:
+//!
+//! - **fast distance attenuation** (§4.3): close-in path-loss model with
+//!   LoS exponent ≈ 2 and NLoS ≈ 3 at 28 GHz;
+//! - **directionality** (§4.5): a 3GPP-style parabolic antenna pattern so
+//!   throughput collapses outside the panel's front sector;
+//! - **obstructions** (§4.1): an obstacle map with per-obstacle penetration
+//!   loss and a capped NLoS penalty (reflective paths provide a floor);
+//! - **body blockage** (§4.4): extra loss when the user's body sits between
+//!   a hand-held UE and the panel (walking away, θm ≈ 0°);
+//! - **vehicle penetration and speed penalty** (§4.6): driving attenuates
+//!   the signal through the car body and beam tracking degrades with speed;
+//! - **location-conditioned variability** (§4.1): a deterministic, seeded
+//!   shadowing *field* (stable across repeated passes of a trajectory, so
+//!   geolocation carries signal) plus temporal AR(1) fast fading (so the
+//!   same location still fluctuates, CV ≈ 50%).
+//!
+//! The output of [`RadioField::evaluate`] is the per-panel RSRP/SINR and a
+//! truncated-Shannon link capacity; `lumos5g-net` turns capacities into
+//! application-level TCP goodput.
+
+pub mod antenna;
+pub mod capacity;
+pub mod fading;
+pub mod field;
+pub mod lte;
+pub mod obstacles;
+pub mod pathloss;
+
+pub use antenna::AntennaPattern;
+pub use capacity::{capacity_mbps, CapacityConfig};
+pub use fading::{FastFading, ShadowField};
+pub use field::{Panel, PanelSignal, RadioConfig, RadioField, TransportMode, UeState};
+pub use lte::LteModel;
+pub use obstacles::{Obstacle, ObstacleMap};
+pub use pathloss::{ci_path_loss_db, fspl_1m_db, PathLossEnv};

@@ -1,0 +1,262 @@
+//! Obstacle maps and line-of-sight queries.
+//!
+//! §4.1 attributes the "consistently poor" and "uncertain" patches of the
+//! throughput maps to obstructions (buildings, information booths,
+//! open-space restaurants). We model obstacles as axis-aligned boxes and
+//! thin walls, each with a penetration loss; a LoS query traces the
+//! panel→UE segment and sums the losses of everything it crosses.
+
+use lumos5g_geo::Point2;
+
+/// A single obstruction in the local plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Obstacle {
+    /// Axis-aligned box, e.g. a building footprint or information booth.
+    Aabb {
+        /// South-west corner.
+        min: Point2,
+        /// North-east corner.
+        max: Point2,
+        /// Loss applied when the ray passes through, dB.
+        loss_db: f64,
+    },
+    /// A thin wall segment, e.g. tinted glass or a concrete facade edge.
+    Wall {
+        /// One endpoint.
+        a: Point2,
+        /// Other endpoint.
+        b: Point2,
+        /// Loss applied when the ray crosses, dB.
+        loss_db: f64,
+    },
+}
+
+impl Obstacle {
+    /// Penetration loss if the segment `p → q` intersects this obstacle,
+    /// else 0.
+    pub fn loss_on_segment(&self, p: Point2, q: Point2) -> f64 {
+        match *self {
+            Obstacle::Aabb { min, max, loss_db } => {
+                if segment_intersects_aabb(p, q, min, max) {
+                    loss_db
+                } else {
+                    0.0
+                }
+            }
+            Obstacle::Wall { a, b, loss_db } => {
+                if segments_intersect(p, q, a, b) {
+                    loss_db
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+}
+
+/// Liang–Barsky segment vs axis-aligned box test. Touching counts as
+/// intersecting; a segment fully inside the box also counts.
+pub fn segment_intersects_aabb(p: Point2, q: Point2, min: Point2, max: Point2) -> bool {
+    let d = (q.x - p.x, q.y - p.y);
+    let mut t0 = 0.0f64;
+    let mut t1 = 1.0f64;
+    // For each slab (x and y), clip the parameter interval.
+    for (p0, dir, lo, hi) in [(p.x, d.0, min.x, max.x), (p.y, d.1, min.y, max.y)] {
+        if dir.abs() < 1e-15 {
+            if p0 < lo || p0 > hi {
+                return false;
+            }
+        } else {
+            let mut ta = (lo - p0) / dir;
+            let mut tb = (hi - p0) / dir;
+            if ta > tb {
+                std::mem::swap(&mut ta, &mut tb);
+            }
+            t0 = t0.max(ta);
+            t1 = t1.min(tb);
+            if t0 > t1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Proper segment-segment intersection (shared endpoints count).
+pub fn segments_intersect(p1: Point2, p2: Point2, p3: Point2, p4: Point2) -> bool {
+    fn orient(a: Point2, b: Point2, c: Point2) -> f64 {
+        (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x)
+    }
+    fn on_segment(a: Point2, b: Point2, c: Point2) -> bool {
+        c.x >= a.x.min(b.x) - 1e-12
+            && c.x <= a.x.max(b.x) + 1e-12
+            && c.y >= a.y.min(b.y) - 1e-12
+            && c.y <= a.y.max(b.y) + 1e-12
+    }
+    let d1 = orient(p3, p4, p1);
+    let d2 = orient(p3, p4, p2);
+    let d3 = orient(p1, p2, p3);
+    let d4 = orient(p1, p2, p4);
+    if ((d1 > 0.0 && d2 < 0.0) || (d1 < 0.0 && d2 > 0.0))
+        && ((d3 > 0.0 && d4 < 0.0) || (d3 < 0.0 && d4 > 0.0))
+    {
+        return true;
+    }
+    (d1.abs() < 1e-12 && on_segment(p3, p4, p1))
+        || (d2.abs() < 1e-12 && on_segment(p3, p4, p2))
+        || (d3.abs() < 1e-12 && on_segment(p1, p2, p3))
+        || (d4.abs() < 1e-12 && on_segment(p1, p2, p4))
+}
+
+/// The set of obstructions in a measurement area.
+#[derive(Debug, Clone, Default)]
+pub struct ObstacleMap {
+    obstacles: Vec<Obstacle>,
+}
+
+impl ObstacleMap {
+    /// Empty map (pure LoS area).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an obstacle.
+    pub fn push(&mut self, o: Obstacle) {
+        self.obstacles.push(o);
+    }
+
+    /// Build from a list.
+    pub fn from_vec(obstacles: Vec<Obstacle>) -> Self {
+        ObstacleMap { obstacles }
+    }
+
+    /// Number of obstacles.
+    pub fn len(&self) -> usize {
+        self.obstacles.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.obstacles.is_empty()
+    }
+
+    /// Total penetration loss along the segment `p → q`, dB. Zero means
+    /// unobstructed line of sight.
+    pub fn penetration_loss_db(&self, p: Point2, q: Point2) -> f64 {
+        self.obstacles
+            .iter()
+            .map(|o| o.loss_on_segment(p, q))
+            .sum()
+    }
+
+    /// True when nothing blocks the segment.
+    pub fn has_los(&self, p: Point2, q: Point2) -> bool {
+        self.penetration_loss_db(p, q) == 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(x: f64, y: f64) -> Point2 {
+        Point2::new(x, y)
+    }
+
+    #[test]
+    fn segment_through_box_intersects() {
+        assert!(segment_intersects_aabb(
+            pt(-10.0, 5.0),
+            pt(10.0, 5.0),
+            pt(-1.0, 0.0),
+            pt(1.0, 10.0)
+        ));
+    }
+
+    #[test]
+    fn segment_missing_box_does_not() {
+        assert!(!segment_intersects_aabb(
+            pt(-10.0, 50.0),
+            pt(10.0, 50.0),
+            pt(-1.0, 0.0),
+            pt(1.0, 10.0)
+        ));
+    }
+
+    #[test]
+    fn segment_inside_box_counts() {
+        assert!(segment_intersects_aabb(
+            pt(0.1, 0.1),
+            pt(0.2, 0.2),
+            pt(0.0, 0.0),
+            pt(1.0, 1.0)
+        ));
+    }
+
+    #[test]
+    fn vertical_segment_vs_box() {
+        assert!(segment_intersects_aabb(
+            pt(0.5, -5.0),
+            pt(0.5, 5.0),
+            pt(0.0, 0.0),
+            pt(1.0, 1.0)
+        ));
+        assert!(!segment_intersects_aabb(
+            pt(5.0, -5.0),
+            pt(5.0, 5.0),
+            pt(0.0, 0.0),
+            pt(1.0, 1.0)
+        ));
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        assert!(segments_intersect(
+            pt(0.0, 0.0),
+            pt(10.0, 10.0),
+            pt(0.0, 10.0),
+            pt(10.0, 0.0)
+        ));
+    }
+
+    #[test]
+    fn parallel_segments_do_not() {
+        assert!(!segments_intersect(
+            pt(0.0, 0.0),
+            pt(10.0, 0.0),
+            pt(0.0, 1.0),
+            pt(10.0, 1.0)
+        ));
+    }
+
+    #[test]
+    fn touching_endpoint_counts() {
+        assert!(segments_intersect(
+            pt(0.0, 0.0),
+            pt(5.0, 5.0),
+            pt(5.0, 5.0),
+            pt(10.0, 0.0)
+        ));
+    }
+
+    #[test]
+    fn map_sums_losses() {
+        let map = ObstacleMap::from_vec(vec![
+            Obstacle::Aabb {
+                min: pt(2.0, -1.0),
+                max: pt(3.0, 1.0),
+                loss_db: 20.0,
+            },
+            Obstacle::Wall {
+                a: pt(5.0, -1.0),
+                b: pt(5.0, 1.0),
+                loss_db: 7.0,
+            },
+        ]);
+        // Ray along y = 0 crosses both.
+        assert!((map.penetration_loss_db(pt(0.0, 0.0), pt(10.0, 0.0)) - 27.0).abs() < 1e-12);
+        assert!(!map.has_los(pt(0.0, 0.0), pt(10.0, 0.0)));
+        // Ray above everything is clear.
+        assert!(map.has_los(pt(0.0, 5.0), pt(10.0, 5.0)));
+    }
+}

@@ -1,0 +1,439 @@
+//! The three measurement areas of Table 2.
+//!
+//! Geometry is synthetic but mirrors each area's description:
+//!
+//! - **Intersection**: an outdoor four-way downtown intersection with three
+//!   dual-panel 5G towers at the corners, high-rise buildings occupying the
+//!   four quadrants, and 12 walking trajectories (4 straight crossings in
+//!   both directions + 4 turns, 230–270 m each).
+//! - **Airport**: an indoor mall corridor with two head-on single-panel
+//!   towers ~200 m apart and information-booth/restaurant obstacles creating
+//!   the NLoS dip of Fig 11b; two trajectories (NB, SB, ~340 m).
+//! - **Loop**: a 1300 m city loop with panels on some corners, a park edge
+//!   with poor coverage, traffic lights and a rail crossing; walked and
+//!   driven.
+//!
+//! All coordinates are meters in a per-area local frame anchored in
+//! Minneapolis (the paper's city) so WGS84 export and zoom-17 pixelization
+//! behave exactly as they would on the real data.
+
+use crate::mobility::StopPoint;
+use lumos5g_geo::{LatLon, LocalFrame, PanelPose, Point2, Polyline};
+use lumos5g_radio::{
+    LteModel, Obstacle, ObstacleMap, Panel, RadioConfig, RadioField, ShadowField,
+};
+
+/// Stable area identifiers (the `area` column of the dataset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AreaId {
+    /// Downtown four-way intersection (outdoor).
+    Intersection = 0,
+    /// Airport mall corridor (indoor).
+    Airport = 1,
+    /// 1300 m downtown loop (outdoor, walking + driving).
+    Loop = 2,
+}
+
+impl AreaId {
+    /// Numeric id used in records.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AreaId::Intersection => "intersection",
+            AreaId::Airport => "airport",
+            AreaId::Loop => "loop",
+        }
+    }
+}
+
+/// A named walkable/drivable route with its traffic stop points.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    /// Label, e.g. "NB", "S→N", "loop-cw".
+    pub name: String,
+    /// The route geometry.
+    pub path: Polyline,
+    /// Stop points along the route.
+    pub stops: Vec<StopPoint>,
+}
+
+/// A fully assembled measurement area.
+#[derive(Debug, Clone)]
+pub struct Area {
+    /// Identifier.
+    pub id: AreaId,
+    /// WGS84 anchor for the local frame.
+    pub frame: LocalFrame,
+    /// The mmWave radio environment.
+    pub field: RadioField,
+    /// LTE fallback model.
+    pub lte: LteModel,
+    /// Routes measured in this area.
+    pub trajectories: Vec<Trajectory>,
+    /// Whether panel locations are known exogenously (false for Loop, like
+    /// the paper — so tower-based features are unavailable there).
+    pub panels_known: bool,
+}
+
+impl Area {
+    /// The panel nearest to `p` (for post-processing geometry when the UE
+    /// is on LTE). Panics if the area has no panels.
+    pub fn nearest_panel(&self, p: Point2) -> &Panel {
+        self.field
+            .panels
+            .iter()
+            .min_by(|a, b| {
+                a.pose
+                    .distance_to(p)
+                    .partial_cmp(&b.pose.distance_to(p))
+                    .expect("finite distance")
+            })
+            .expect("area has panels")
+    }
+
+    /// Panel by id.
+    pub fn panel_by_id(&self, id: u32) -> Option<&Panel> {
+        self.field.panels.iter().find(|p| p.id == id)
+    }
+}
+
+fn pt(x: f64, y: f64) -> Point2 {
+    Point2::new(x, y)
+}
+
+/// The outdoor four-way **Intersection** area (12 trajectories).
+pub fn intersection(seed: u64) -> Area {
+    let frame = LocalFrame::new(LatLon::new(44.9760, -93.2730));
+
+    // Buildings fill the four quadrants, leaving 24 m-wide streets. The
+    // quadrants are deliberately asymmetric (high-rise, mid-rise, a parking
+    // structure and a plaza) so the four street legs have *different* radio
+    // environments — in the real downtown no two crossings look alike.
+    let obstacles = ObstacleMap::from_vec(vec![
+        // NE: glass high-rise, heavy loss.
+        Obstacle::Aabb { min: pt(14.0, 14.0), max: pt(140.0, 140.0), loss_db: 34.0 },
+        // NW: mid-rise with a recessed plaza near the corner.
+        Obstacle::Aabb { min: pt(-140.0, 30.0), max: pt(-26.0, 140.0), loss_db: 28.0 },
+        // SW: low parking structure, mmWave partially penetrates/deflects.
+        Obstacle::Aabb { min: pt(-140.0, -140.0), max: pt(-14.0, -14.0), loss_db: 18.0 },
+        // SE: two separate buildings with an alley between them.
+        Obstacle::Aabb { min: pt(14.0, -70.0), max: pt(140.0, -14.0), loss_db: 30.0 },
+        Obstacle::Aabb { min: pt(14.0, -140.0), max: pt(140.0, -86.0), loss_db: 30.0 },
+        // Street furniture (bus shelter) shadows part of the east sidewalk
+        // from tower A; placed clear of the tower itself.
+        Obstacle::Aabb { min: pt(8.0, 30.0), max: pt(10.5, 50.0), loss_db: 12.0 },
+    ]);
+
+    // Three dual-panel towers, spread along different street legs (real
+    // deployments stagger towers down the block, not all at the center):
+    // tower A mid-way up the north leg, tower B down the east leg, tower C
+    // at the south-west corner. The west leg has no tower — a weak patch.
+    // Per-panel EIRP varies like real installations.
+    let mut panels = vec![
+        Panel::new(1, PanelPose::new(pt(11.0, 70.0), 190.0)), // A → center
+        Panel::new(2, PanelPose::new(pt(11.0, 70.0), 10.0)),  // A → north
+        Panel::new(3, PanelPose::new(pt(70.0, -11.0), 280.0)), // B → center
+        Panel::new(4, PanelPose::new(pt(70.0, -11.0), 100.0)), // B → east
+        Panel::new(5, PanelPose::new(pt(-13.0, -13.0), 45.0)), // C → center
+        Panel::new(6, PanelPose::new(pt(-13.0, -13.0), 225.0)), // C → SW
+    ];
+    for (panel, eirp) in panels.iter_mut().zip([21.0, 19.0, 20.0, 18.0, 20.0, 16.0]) {
+        panel.eirp_dbm = eirp;
+    }
+
+    let field = RadioField::new(
+        panels,
+        obstacles,
+        ShadowField::mmwave_default(seed ^ 0xA1),
+        RadioConfig::default(),
+    );
+
+    // Sidewalk offsets keep walkers out of the buildings.
+    let s = 9.0;
+    let ext = 130.0;
+    let light = |arc: f64| StopPoint {
+        arc_m: arc,
+        stop_probability: 0.45,
+        wait_s: (8, 35),
+    };
+    let straight = |name: &str, a: Point2, mid: Point2, bpt: Point2| Trajectory {
+        name: name.to_string(),
+        path: Polyline::new(vec![a, mid, bpt]),
+        stops: vec![light(ext - 14.0)],
+    };
+    let turn = |name: &str, a: Point2, corner: Point2, bpt: Point2| Trajectory {
+        name: name.to_string(),
+        path: Polyline::new(vec![a, corner, bpt]),
+        stops: vec![light(ext - 14.0)],
+    };
+
+    let trajectories = vec![
+        straight("S→N", pt(s, -ext), pt(s, 0.0), pt(s, ext)),
+        straight("N→S", pt(-s, ext), pt(-s, 0.0), pt(-s, -ext)),
+        straight("W→E", pt(-ext, -s), pt(0.0, -s), pt(ext, -s)),
+        straight("E→W", pt(ext, s), pt(0.0, s), pt(-ext, s)),
+        straight("S→N'", pt(-s, -ext), pt(-s, 0.0), pt(-s, ext)),
+        straight("N→S'", pt(s, ext), pt(s, 0.0), pt(s, -ext)),
+        straight("W→E'", pt(-ext, s), pt(0.0, s), pt(ext, s)),
+        straight("E→W'", pt(ext, -s), pt(0.0, -s), pt(-ext, -s)),
+        turn("S→E", pt(s, -ext), pt(s, -s), pt(ext, -s)),
+        turn("E→N", pt(ext, s), pt(s, s), pt(s, ext)),
+        turn("N→W", pt(-s, ext), pt(-s, s), pt(-ext, s)),
+        turn("W→S", pt(-ext, -s), pt(-s, -s), pt(-s, -ext)),
+    ];
+
+    Area {
+        id: AreaId::Intersection,
+        frame,
+        field,
+        lte: LteModel::new(seed ^ 0xA2),
+        trajectories,
+        panels_known: true,
+    }
+}
+
+/// The indoor **Airport** mall corridor (NB/SB trajectories).
+pub fn airport(seed: u64) -> Area {
+    let frame = LocalFrame::new(LatLon::new(44.8830, -93.2010));
+
+    // Booths/open restaurants inside the corridor (Fig 11b's NLoS band).
+    let obstacles = ObstacleMap::from_vec(vec![
+        Obstacle::Aabb { min: pt(-10.0, 110.0), max: pt(-1.5, 150.0), loss_db: 16.0 },
+        Obstacle::Aabb { min: pt(2.0, 170.0), max: pt(9.5, 205.0), loss_db: 16.0 },
+        Obstacle::Aabb { min: pt(-8.0, 228.0), max: pt(0.5, 243.0), loss_db: 14.0 },
+    ]);
+
+    // Two head-on single panels ~200 m apart: south faces north and vice
+    // versa.
+    let panels = vec![
+        Panel::new(1, PanelPose::new(pt(0.0, 60.0), 0.0)),   // south panel
+        Panel::new(2, PanelPose::new(pt(0.0, 260.0), 180.0)), // north panel
+    ];
+
+    // Indoor: slightly milder shadowing terrain.
+    let field = RadioField::new(
+        panels,
+        obstacles,
+        ShadowField::new(seed ^ 0xB1, 8.0, 3.5),
+        RadioConfig::default(),
+    );
+
+    // The walkway weaves gently around the booths.
+    let weave = |dir: f64| -> Vec<Point2> {
+        let mut pts = Vec::new();
+        let n = 18;
+        for i in 0..=n {
+            let y = 10.0 + 330.0 * i as f64 / n as f64;
+            let x = 5.5 * (y / 55.0).sin();
+            pts.push(pt(x, y));
+        }
+        if dir < 0.0 {
+            pts.reverse();
+        }
+        pts
+    };
+    let trajectories = vec![
+        Trajectory {
+            name: "NB".to_string(),
+            path: Polyline::new(weave(1.0)),
+            stops: vec![],
+        },
+        Trajectory {
+            name: "SB".to_string(),
+            path: Polyline::new(weave(-1.0)),
+            stops: vec![],
+        },
+    ];
+
+    Area {
+        id: AreaId::Airport,
+        frame,
+        field,
+        lte: LteModel::new(seed ^ 0xB2),
+        trajectories,
+        panels_known: true,
+    }
+}
+
+/// The 1300 m **Loop** area (walking + driving).
+pub fn loop_area(seed: u64) -> Area {
+    let frame = LocalFrame::new(LatLon::new(44.9740, -93.2580));
+
+    // City block inside the loop plus some outer structures; the west edge
+    // borders a park (no nearby panel → weak patch).
+    let obstacles = ObstacleMap::from_vec(vec![
+        Obstacle::Aabb { min: pt(25.0, 25.0), max: pt(375.0, 225.0), loss_db: 32.0 },
+        Obstacle::Aabb { min: pt(60.0, -80.0), max: pt(180.0, -20.0), loss_db: 30.0 },
+        Obstacle::Aabb { min: pt(240.0, 270.0), max: pt(340.0, 330.0), loss_db: 30.0 },
+    ]);
+
+    // Panels serve the south, east and north streets; the west (park) edge
+    // has none. Several sit near intersections/crossings — carriers target
+    // places where traffic dwells.
+    let panels = vec![
+        Panel::new(1, PanelPose::new(pt(80.0, -8.0), 0.0)),
+        Panel::new(2, PanelPose::new(pt(385.0, -8.0), 0.0)), // SE corner light
+        Panel::new(3, PanelPose::new(pt(408.0, 70.0), 270.0)),
+        Panel::new(4, PanelPose::new(pt(408.0, 180.0), 270.0)),
+        Panel::new(5, PanelPose::new(pt(390.0, 258.0), 180.0)), // NE corner light
+        Panel::new(6, PanelPose::new(pt(220.0, 258.0), 180.0)), // rail crossing
+    ];
+
+    let field = RadioField::new(
+        panels,
+        obstacles,
+        ShadowField::mmwave_default(seed ^ 0xC1),
+        RadioConfig::default(),
+    );
+
+    // The loop runs counterclockwise: south street eastward, east street
+    // northward, north street westward, park edge southward.
+    let ring = vec![pt(0.0, 0.0), pt(400.0, 0.0), pt(400.0, 250.0), pt(0.0, 250.0)];
+    let light = |arc: f64, p: f64, wait: (u32, u32)| StopPoint {
+        arc_m: arc,
+        stop_probability: p,
+        wait_s: wait,
+    };
+    // Corners at arcs 400, 650, 1050; rail crossing midway along the north
+    // street; perimeter = 1300.
+    let stops_cw = vec![
+        light(400.0, 0.5, (8, 40)),
+        light(650.0, 0.5, (8, 40)),
+        light(830.0, 0.4, (15, 60)), // rail crossing
+        light(1050.0, 0.5, (8, 40)),
+    ];
+    let mut rev_ring = ring.clone();
+    rev_ring.reverse();
+    let stops_ccw = vec![
+        light(250.0, 0.5, (8, 40)),
+        light(470.0, 0.4, (15, 60)), // rail from the other side
+        light(650.0, 0.5, (8, 40)),
+        light(900.0, 0.5, (8, 40)),
+    ];
+
+    let trajectories = vec![
+        Trajectory {
+            name: "loop-ccw".to_string(),
+            path: Polyline::closed(ring),
+            stops: stops_cw,
+        },
+        Trajectory {
+            name: "loop-cw".to_string(),
+            path: Polyline::closed(rev_ring),
+            stops: stops_ccw,
+        },
+    ];
+
+    Area {
+        id: AreaId::Loop,
+        frame,
+        field,
+        lte: LteModel::new(seed ^ 0xC2),
+        trajectories,
+        // The paper could not reliably obtain panel locations for Loop, so
+        // tower-based features are not evaluated there (Table 7: "-").
+        panels_known: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersection_has_twelve_trajectories() {
+        let a = intersection(1);
+        assert_eq!(a.trajectories.len(), 12);
+        assert_eq!(a.field.panels.len(), 6);
+        assert!(a.panels_known);
+    }
+
+    #[test]
+    fn intersection_trajectory_lengths_match_table2() {
+        // Table 2: 232–274 m. Ours are 260 m exactly.
+        let a = intersection(1);
+        for t in &a.trajectories {
+            let len = t.path.length();
+            assert!((200.0..300.0).contains(&len), "{}: {len}", t.name);
+        }
+    }
+
+    #[test]
+    fn airport_trajectories_match_table2() {
+        // Table 2: 324–369 m, two trajectories.
+        let a = airport(1);
+        assert_eq!(a.trajectories.len(), 2);
+        for t in &a.trajectories {
+            let len = t.path.length();
+            assert!((320.0..380.0).contains(&len), "{}: {len}", t.name);
+        }
+    }
+
+    #[test]
+    fn airport_panels_are_200m_apart_head_on() {
+        let a = airport(1);
+        let p1 = a.panel_by_id(1).unwrap();
+        let p2 = a.panel_by_id(2).unwrap();
+        assert!((p1.pose.position.distance(p2.pose.position) - 200.0).abs() < 1e-9);
+        assert_eq!(p1.pose.azimuth_deg, 0.0);
+        assert_eq!(p2.pose.azimuth_deg, 180.0);
+    }
+
+    #[test]
+    fn loop_is_1300m() {
+        let a = loop_area(1);
+        for t in &a.trajectories {
+            assert!((t.path.length() - 1300.0).abs() < 1e-9);
+        }
+        assert!(!a.panels_known);
+    }
+
+    #[test]
+    fn areas_have_good_coverage_near_panels() {
+        use lumos5g_radio::{TransportMode, UeState};
+        for area in [intersection(2), airport(2), loop_area(2)] {
+            let p = &area.field.panels[0];
+            // Stand 20 m in front of the first panel.
+            let az = p.pose.azimuth_deg.to_radians();
+            let ue_pos = Point2::new(
+                p.pose.position.x + 20.0 * az.sin(),
+                p.pose.position.y + 20.0 * az.cos(),
+            );
+            let ue = UeState {
+                pos: ue_pos,
+                heading_deg: 0.0,
+                speed_mps: 0.0,
+                mode: TransportMode::Stationary,
+            };
+            let best = area.field.best_signal(&ue, 0.0).unwrap();
+            assert!(
+                best.capacity_mbps > 1_000.0,
+                "{}: {} Mbps",
+                area.id.name(),
+                best.capacity_mbps
+            );
+        }
+    }
+
+    #[test]
+    fn nearest_panel_is_correct() {
+        let a = airport(1);
+        assert_eq!(a.nearest_panel(pt(0.0, 80.0)).id, 1);
+        assert_eq!(a.nearest_panel(pt(0.0, 240.0)).id, 2);
+    }
+
+    #[test]
+    fn airport_booths_create_nlos_somewhere_mid_corridor() {
+        let a = airport(1);
+        // Ray from the south panel to a point shadowed by the first booth.
+        let blocked = !a
+            .field
+            .obstacles
+            .has_los(pt(0.0, 60.0), pt(-8.0, 200.0));
+        assert!(blocked);
+    }
+}

@@ -1,0 +1,298 @@
+//! Campaign runner: executes measurement passes and emits raw records.
+//!
+//! One *pass* = one traversal of one trajectory under one mobility mode,
+//! mirroring the paper's "at least 30× per trajectory" methodology (§3.2).
+//! GPS, compass and speed noise are injected here; the quality pipeline
+//! (`crate::quality`) later filters and pixelizes exactly like §3.1.
+
+use crate::areas::Area;
+use crate::mobility::{MobilityMode, MobilityModel};
+use crate::record::{Activity, Dataset, Record};
+use lumos5g_geo::{mobility_angle_deg, normalize_deg, positional_angle_deg, Point2};
+use lumos5g_net::{BulkSession, ConnectionManager, HandoffConfig, TcpConfig};
+use lumos5g_radio::{FastFading, TransportMode, UeState};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Campaign-level knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Passes per trajectory (paper: ≥ 30).
+    pub passes_per_trajectory: usize,
+    /// Mobility mode for every pass of this campaign.
+    pub mode: MobilityMode,
+    /// Base RNG seed; pass seeds derive deterministically from it.
+    pub base_seed: u64,
+    /// Typical GPS noise sigma, meters.
+    pub gps_sigma_m: f64,
+    /// Fraction of passes with degraded GPS (to exercise the 5 m discard
+    /// rule of §3.1).
+    pub bad_gps_fraction: f64,
+    /// Duration cap per pass, seconds (stationary passes run exactly this
+    /// long).
+    pub max_duration_s: u32,
+    /// Connection-manager tuning (hysteresis, gaps) — exposed for the
+    /// handoff ablation study.
+    pub handoff: HandoffConfig,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            passes_per_trajectory: 30,
+            mode: MobilityMode::walking(),
+            base_seed: 0,
+            gps_sigma_m: 2.2,
+            bad_gps_fraction: 0.08,
+            max_duration_s: 900,
+            handoff: HandoffConfig::default(),
+        }
+    }
+}
+
+/// Run a full campaign over every trajectory of `area`.
+pub fn run_campaign(area: &Area, cfg: &CampaignConfig) -> Dataset {
+    let mut all = Vec::new();
+    let mut pass_id = 0u32;
+    for traj in 0..area.trajectories.len() as u32 {
+        for p in 0..cfg.passes_per_trajectory {
+            let seed = cfg
+                .base_seed
+                .wrapping_mul(0x9E37_79B9)
+                .wrapping_add((traj as u64) << 32)
+                .wrapping_add(p as u64);
+            all.extend(run_pass(area, traj, cfg, pass_id, seed));
+            pass_id += 1;
+        }
+    }
+    Dataset::new(all)
+}
+
+/// Run one pass and return its raw records.
+pub fn run_pass(
+    area: &Area,
+    trajectory: u32,
+    cfg: &CampaignConfig,
+    pass_id: u32,
+    seed: u64,
+) -> Vec<Record> {
+    let traj = &area.trajectories[trajectory as usize];
+    let mut mobility = MobilityModel::new(cfg.mode, &traj.stops, seed);
+    let mut fading = FastFading::mmwave_default(seed ^ 0xFAD);
+    let mut lte_fading = FastFading::new(seed ^ 0x17E, 0.8, 1.5);
+    let mut session = BulkSession::new(TcpConfig::iperf_default(), seed ^ 0x7C9);
+    let mut mgr = ConnectionManager::new(cfg.handoff);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6E5);
+
+    // Per-pass GPS quality: mostly good, sometimes degraded beyond the
+    // pipeline's 5 m cutoff.
+    let gps_sigma = if rng.gen::<f64>() < cfg.bad_gps_fraction {
+        rng.gen_range(5.5..11.0)
+    } else {
+        cfg.gps_sigma_m * rng.gen_range(0.7..1.3)
+    };
+
+    let transport = cfg.mode.transport();
+    let activity = match transport {
+        TransportMode::Stationary => Activity::Still,
+        TransportMode::Walking => Activity::Walking,
+        TransportMode::Driving => Activity::InVehicle,
+    };
+
+    let mut records = Vec::new();
+    let path_len = traj.path.length();
+    for t in 0..cfg.max_duration_s {
+        let (arc, speed) = mobility.step();
+        if !matches!(cfg.mode, MobilityMode::Stationary { .. }) && arc >= path_len {
+            break;
+        }
+        let pos = traj.path.point_at(arc);
+        let heading = traj.path.heading_at(arc);
+
+        let ue = UeState {
+            pos,
+            heading_deg: heading,
+            speed_mps: speed,
+            mode: transport,
+        };
+        let fade = fading.next_db();
+        let signals = area.field.evaluate(&ue, fade);
+        let lte_thpt = area.lte.throughput_mbps(pos, lte_fading.next_db());
+        let decision = mgr.step(&signals, lte_thpt, &mut session);
+        let throughput = session.step_second(decision.capacity_mbps);
+
+        // Geometry fields w.r.t. the serving panel (or nearest when on LTE).
+        let panel = decision
+            .serving_panel
+            .and_then(|id| area.panel_by_id(id))
+            .unwrap_or_else(|| area.nearest_panel(pos));
+        let panel_distance = panel.pose.distance_to(pos);
+        let theta_p = positional_angle_deg(&panel.pose, pos);
+        let theta_m = mobility_angle_deg(&panel.pose, heading);
+
+        // Sensor noise.
+        let noisy_pos = Point2::new(
+            pos.x + gps_sigma * gauss(&mut rng),
+            pos.y + gps_sigma * gauss(&mut rng),
+        );
+        let reported = area.frame.to_latlon(noisy_pos);
+        let gps_accuracy = gps_sigma * (1.0 + 0.25 * gauss(&mut rng).abs());
+        let compass = normalize_deg(heading + 4.0 * gauss(&mut rng));
+        let speed_report = (speed + 0.08 * gauss(&mut rng)).max(0.0);
+
+        let nr_rsrp = decision.rsrp_dbm.unwrap_or_else(|| {
+            signals
+                .iter()
+                .map(|s| s.rsrp_dbm)
+                .fold(f64::NEG_INFINITY, f64::max)
+        });
+        // LTE RSRP tracks the LTE SINR around a −95 dBm median.
+        let lte_rsrp = -95.0 + (area.lte.sinr_db(pos, 0.0) - area.lte.median_sinr_db);
+
+        records.push(Record {
+            area: area.id.as_u8(),
+            pass_id,
+            trajectory,
+            t,
+            lat: reported.lat,
+            lon: reported.lon,
+            gps_accuracy_m: gps_accuracy,
+            activity,
+            moving_speed_mps: speed_report,
+            compass_deg: compass,
+            throughput_mbps: throughput,
+            on_5g: decision.serving_panel.is_some(),
+            cell_id: decision.serving_panel.unwrap_or(1000),
+            lte_rsrp_dbm: lte_rsrp,
+            nr_ssrsrp_dbm: nr_rsrp,
+            horizontal_handoff: decision.horizontal_handoff,
+            vertical_handoff: decision.vertical_handoff,
+            panel_distance_m: panel_distance,
+            theta_p_deg: theta_p,
+            theta_m_deg: theta_m,
+            pixel_x: 0,
+            pixel_y: 0,
+            snapped_x_m: pos.x, // overwritten by the quality pipeline
+            snapped_y_m: pos.y,
+            true_x_m: pos.x,
+            true_y_m: pos.y,
+            true_speed_mps: speed,
+        });
+    }
+    records
+}
+
+fn gauss(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 > 1e-300 {
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::areas::airport;
+
+    fn small_cfg() -> CampaignConfig {
+        CampaignConfig {
+            passes_per_trajectory: 2,
+            mode: MobilityMode::walking(),
+            base_seed: 11,
+            gps_sigma_m: 2.0,
+            bad_gps_fraction: 0.0,
+            max_duration_s: 600,
+            handoff: HandoffConfig::default(),
+        }
+    }
+
+    #[test]
+    fn pass_walks_the_whole_trajectory() {
+        let area = airport(1);
+        let recs = run_pass(&area, 0, &small_cfg(), 0, 42);
+        assert!(recs.len() > 150, "only {} records", recs.len());
+        // Ends near the far end of the corridor.
+        let last = recs.last().unwrap();
+        assert!(last.true_y_m > 300.0, "ended at y = {}", last.true_y_m);
+    }
+
+    #[test]
+    fn pass_is_deterministic_per_seed() {
+        let area = airport(1);
+        let a = run_pass(&area, 0, &small_cfg(), 0, 7);
+        let b = run_pass(&area, 0, &small_cfg(), 0, 7);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[10], b[10]);
+    }
+
+    #[test]
+    fn throughput_reaches_5g_levels_somewhere() {
+        let area = airport(1);
+        let recs = run_pass(&area, 0, &small_cfg(), 0, 3);
+        let max = recs.iter().map(|r| r.throughput_mbps).fold(0.0, f64::max);
+        assert!(max > 800.0, "max throughput = {max}");
+    }
+
+    #[test]
+    fn gps_noise_present_but_bounded() {
+        let area = airport(1);
+        let recs = run_pass(&area, 0, &small_cfg(), 0, 5);
+        let mut total_err = 0.0;
+        for r in &recs {
+            let reported = area
+                .frame
+                .to_local(lumos5g_geo::LatLon::new(r.lat, r.lon));
+            total_err += reported.distance(r.true_pos());
+        }
+        let avg = total_err / recs.len() as f64;
+        assert!(avg > 0.5 && avg < 6.0, "avg gps error = {avg}");
+    }
+
+    #[test]
+    fn campaign_covers_all_trajectories() {
+        let area = airport(1);
+        let ds = run_campaign(&area, &small_cfg());
+        let mut trajs: Vec<u32> = ds.records.iter().map(|r| r.trajectory).collect();
+        trajs.sort_unstable();
+        trajs.dedup();
+        assert_eq!(trajs, vec![0, 1]);
+        // 2 trajectories × 2 passes.
+        let mut passes: Vec<u32> = ds.records.iter().map(|r| r.pass_id).collect();
+        passes.sort_unstable();
+        passes.dedup();
+        assert_eq!(passes.len(), 4);
+    }
+
+    #[test]
+    fn driving_records_report_vehicle_activity() {
+        let area = crate::areas::loop_area(1);
+        let cfg = CampaignConfig {
+            mode: MobilityMode::driving(),
+            passes_per_trajectory: 1,
+            max_duration_s: 400,
+            ..small_cfg()
+        };
+        let recs = run_pass(&area, 0, &cfg, 0, 9);
+        assert!(recs.iter().all(|r| r.activity == Activity::InVehicle));
+        let vmax = recs.iter().map(|r| r.true_speed_mps).fold(0.0, f64::max);
+        assert!(vmax > 5.0, "vmax = {vmax}");
+    }
+
+    #[test]
+    fn handoffs_occur_during_long_passes() {
+        let area = crate::areas::loop_area(2);
+        let cfg = CampaignConfig {
+            mode: MobilityMode::walking(),
+            passes_per_trajectory: 1,
+            max_duration_s: 900,
+            ..small_cfg()
+        };
+        let recs = run_pass(&area, 0, &cfg, 0, 13);
+        let h: usize = recs.iter().filter(|r| r.horizontal_handoff).count();
+        let v: usize = recs.iter().filter(|r| r.vertical_handoff).count();
+        assert!(h + v > 0, "no handoffs on a 1300 m walk");
+    }
+}

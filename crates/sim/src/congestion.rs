@@ -1,0 +1,136 @@
+//! Multi-UE contention experiment (App A.1.4, Fig 21).
+//!
+//! Four UEs side-by-side ~25 m in front of one panel with clear LoS. iPerf
+//! sessions start staggered one minute apart and all end together; the
+//! figure shows UE₁'s goodput roughly halving as each new UE joins, because
+//! equal-airtime scheduling splits the panel among attached UEs.
+
+use crate::areas::Area;
+use lumos5g_net::{BulkSession, PanelScheduler, TcpConfig};
+use lumos5g_radio::{FastFading, TransportMode, UeState};
+use lumos5g_geo::Point2;
+
+/// Configuration of the staggered-start experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct CongestionConfig {
+    /// Number of UEs.
+    pub n_ues: usize,
+    /// Stagger between session starts, seconds.
+    pub stagger_s: u32,
+    /// Total experiment duration, seconds (all sessions end here).
+    pub total_s: u32,
+    /// Distance in front of the panel, meters.
+    pub distance_m: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CongestionConfig {
+    fn default() -> Self {
+        CongestionConfig {
+            n_ues: 4,
+            stagger_s: 60,
+            total_s: 240,
+            distance_m: 25.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-UE goodput timelines; `None` before a UE's session starts.
+pub type CongestionTimelines = Vec<Vec<Option<f64>>>;
+
+/// Run the experiment against the first panel of `area`.
+pub fn run_congestion_experiment(area: &Area, cfg: &CongestionConfig) -> CongestionTimelines {
+    let panel = &area.field.panels[0];
+    let az = panel.pose.azimuth_deg.to_radians();
+    // All UEs side-by-side in front of the panel (1 m spacing).
+    let base = Point2::new(
+        panel.pose.position.x + cfg.distance_m * az.sin(),
+        panel.pose.position.y + cfg.distance_m * az.cos(),
+    );
+
+    let mut sessions: Vec<BulkSession> = (0..cfg.n_ues)
+        .map(|i| BulkSession::new(TcpConfig::iperf_default(), cfg.seed.wrapping_add(i as u64)))
+        .collect();
+    let mut fadings: Vec<FastFading> = (0..cfg.n_ues)
+        .map(|i| FastFading::mmwave_default(cfg.seed.wrapping_add(100 + i as u64)))
+        .collect();
+
+    let mut timelines: CongestionTimelines = vec![Vec::with_capacity(cfg.total_s as usize); cfg.n_ues];
+    for t in 0..cfg.total_s {
+        let mut sched = PanelScheduler::new();
+        // Which UEs are active this second?
+        let active: Vec<usize> = (0..cfg.n_ues)
+            .filter(|&i| t >= cfg.stagger_s * i as u32)
+            .collect();
+        for &i in &active {
+            let ue = UeState {
+                pos: Point2::new(base.x + i as f64, base.y),
+                heading_deg: 0.0,
+                speed_mps: 0.0,
+                mode: TransportMode::Stationary,
+            };
+            let sig = area.field.evaluate_panel(panel, &ue, fadings[i].next_db());
+            sched.register(i as u64, sig.capacity_mbps);
+        }
+        let alloc = sched.allocate();
+        for i in 0..cfg.n_ues {
+            if active.contains(&i) {
+                let share = alloc.get(&(i as u64)).copied().unwrap_or(0.0);
+                timelines[i].push(Some(sessions[i].step_second(share)));
+            } else {
+                timelines[i].push(None);
+            }
+        }
+    }
+    timelines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::areas::airport;
+
+    fn mean_window(tl: &[Option<f64>], from: usize, to: usize) -> f64 {
+        let vals: Vec<f64> = tl[from..to].iter().filter_map(|v| *v).collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+
+    #[test]
+    fn ue1_throughput_halves_as_ues_join() {
+        let area = airport(5);
+        let timelines = run_congestion_experiment(&area, &CongestionConfig::default());
+        let solo = mean_window(&timelines[0], 20, 55); // warm, alone
+        let duo = mean_window(&timelines[0], 80, 115); // with UE2
+        let quad = mean_window(&timelines[0], 200, 235); // all four
+        assert!(solo > 1_000.0, "solo = {solo}");
+        assert!(
+            duo < 0.7 * solo,
+            "joining UE2 should roughly halve UE1: solo {solo}, duo {duo}"
+        );
+        assert!(
+            quad < 0.4 * solo,
+            "four UEs should quarter UE1: solo {solo}, quad {quad}"
+        );
+    }
+
+    #[test]
+    fn late_ues_start_as_none() {
+        let area = airport(5);
+        let timelines = run_congestion_experiment(&area, &CongestionConfig::default());
+        assert!(timelines[3][..180].iter().all(|v| v.is_none()));
+        assert!(timelines[3][181].is_some());
+    }
+
+    #[test]
+    fn all_timelines_have_full_length() {
+        let area = airport(5);
+        let cfg = CongestionConfig::default();
+        let timelines = run_congestion_experiment(&area, &cfg);
+        assert_eq!(timelines.len(), 4);
+        for tl in &timelines {
+            assert_eq!(tl.len(), cfg.total_s as usize);
+        }
+    }
+}

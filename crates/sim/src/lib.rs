@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # lumos5g-sim
+//!
+//! Measurement-campaign simulator: the stand-in for the paper's six months
+//! of walking (331 km) and driving (132 km) Verizon's mmWave network in
+//! Minneapolis with Galaxy S10 handsets (§3).
+//!
+//! Pipeline per 1 Hz sample, mirroring the paper's app (§3.1, Table 1):
+//!
+//! 1. a mobility model ([`mobility`]) advances the UE along one of the
+//!    area's trajectories (walking, driving with traffic stops, or
+//!    stationary);
+//! 2. the radio field (`lumos5g-radio`) yields per-panel RSRP/SINR and the
+//!    LTE fallback throughput at the UE's true position;
+//! 3. the connection manager (`lumos5g-net`) makes attach/handoff decisions
+//!    and the iPerf-like 8-stream TCP session converts link capacity into
+//!    application goodput — the `throughput` ground-truth column;
+//! 4. the logger ([`campaign`]) writes a [`record::Record`] with realistic
+//!    GPS/compass/speed noise injected.
+//!
+//! [`quality`] then applies the paper's §3.1 data-quality rules: discard
+//! passes whose mean GPS error exceeds 5 m, trim the calibration buffer
+//! period, and pixelize coordinates to the zoom-17 grid.
+//!
+//! [`areas`] builds the three studied environments (Table 2): the downtown
+//! **Intersection** (12 trajectories, 3 dual-panel towers), the indoor
+//! **Airport** corridor (NB/SB trajectories, 2 head-on single panels) and
+//! the 1300 m **Loop** (driving + walking, lights and a rail crossing).
+//! [`congestion`] reproduces the staggered multi-UE contention experiment
+//! of App A.1.4 (Fig 21).
+
+pub mod areas;
+pub mod campaign;
+pub mod congestion;
+pub mod mobility;
+pub mod quality;
+pub mod record;
+
+pub use areas::{airport, intersection, loop_area, Area, AreaId};
+pub use campaign::{run_campaign, run_pass, CampaignConfig};
+pub use mobility::{MobilityModel, MobilityMode};
+pub use quality::{QualityConfig, QualityReport};
+pub use record::{Activity, Dataset, Record};

@@ -1,0 +1,321 @@
+//! Mobility models: how the UE moves along a trajectory during a pass.
+//!
+//! - **Walking** (§4.6, Fig 14b): hand-held UE, ~1.4 m/s with per-pass and
+//!   per-second variation, brief pauses at stop points (traffic lights).
+//! - **Driving** (Fig 14a): windshield-mounted UE, accelerates toward a
+//!   per-pass cruise speed up to 45 km/h, decelerates and waits at stop
+//!   points (lights / rail crossings) with random red phases.
+//! - **Stationary**: parked at a fixed arc position.
+//!
+//! Models advance in 1 s ticks and report `(arc_position, speed)`.
+
+use lumos5g_radio::TransportMode;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A point along the trajectory where traffic can force a stop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopPoint {
+    /// Arc-length position, meters.
+    pub arc_m: f64,
+    /// Probability that this pass has to stop here.
+    pub stop_probability: f64,
+    /// Min/max stop duration, seconds.
+    pub wait_s: (u32, u32),
+}
+
+/// Which kind of pass to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MobilityMode {
+    /// Walking at roughly the given base speed (m/s).
+    Walking {
+        /// Nominal walking speed; per-pass speeds vary around it.
+        base_speed_mps: f64,
+    },
+    /// Driving with the given cruise-speed bounds (m/s).
+    Driving {
+        /// Minimum per-pass cruise speed.
+        min_cruise_mps: f64,
+        /// Maximum per-pass cruise speed.
+        max_cruise_mps: f64,
+    },
+    /// Standing still at a fixed arc position.
+    Stationary {
+        /// Where along the trajectory the UE stands, meters.
+        arc_m: f64,
+    },
+}
+
+impl MobilityMode {
+    /// Default walking mode (1.4 m/s ≈ 5 km/h).
+    pub fn walking() -> Self {
+        MobilityMode::Walking { base_speed_mps: 1.4 }
+    }
+
+    /// Default driving mode (0–45 km/h like the paper's Loop tests).
+    pub fn driving() -> Self {
+        MobilityMode::Driving {
+            min_cruise_mps: 6.0,
+            max_cruise_mps: 12.5,
+        }
+    }
+
+    /// The radio-model transport mode this mobility implies.
+    pub fn transport(&self) -> TransportMode {
+        match self {
+            MobilityMode::Walking { .. } => TransportMode::Walking,
+            MobilityMode::Driving { .. } => TransportMode::Driving,
+            MobilityMode::Stationary { .. } => TransportMode::Stationary,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Phase {
+    Moving,
+    Stopped { remaining_s: u32 },
+}
+
+/// Stateful per-pass mobility process.
+#[derive(Debug, Clone)]
+pub struct MobilityModel {
+    mode: MobilityMode,
+    rng: StdRng,
+    arc_m: f64,
+    speed_mps: f64,
+    /// Per-pass target speed (walking pace or driving cruise speed).
+    target_mps: f64,
+    stops: Vec<StopPoint>,
+    /// Which stops this pass will actually stop at, with durations.
+    armed_stops: Vec<(f64, u32)>,
+    phase: Phase,
+}
+
+impl MobilityModel {
+    /// Create a pass. Stop decisions are drawn once up front so a pass is a
+    /// deterministic function of its seed.
+    pub fn new(mode: MobilityMode, stops: &[StopPoint], seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let target_mps = match mode {
+            MobilityMode::Walking { base_speed_mps } => {
+                (base_speed_mps + 0.25 * gaussian(&mut rng)).clamp(0.8, 2.0)
+            }
+            MobilityMode::Driving {
+                min_cruise_mps,
+                max_cruise_mps,
+            } => rng.gen_range(min_cruise_mps..=max_cruise_mps),
+            MobilityMode::Stationary { .. } => 0.0,
+        };
+        let mut armed: Vec<(f64, u32)> = Vec::new();
+        for s in stops {
+            // Draw both decisions unconditionally to keep the RNG stream
+            // aligned regardless of which stops arm.
+            let arm = rng.gen::<f64>() < s.stop_probability;
+            let wait = rng.gen_range(s.wait_s.0..=s.wait_s.1);
+            if arm {
+                armed.push((s.arc_m, wait));
+            }
+        }
+        armed.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite arc"));
+        let arc0 = match mode {
+            MobilityMode::Stationary { arc_m } => arc_m,
+            _ => 0.0,
+        };
+        MobilityModel {
+            mode,
+            rng,
+            arc_m: arc0,
+            speed_mps: 0.0,
+            target_mps,
+            stops: stops.to_vec(),
+            armed_stops: armed,
+            phase: Phase::Moving,
+        }
+    }
+
+    /// Advance one second; returns `(arc_position_m, speed_mps)`.
+    pub fn step(&mut self) -> (f64, f64) {
+        match self.mode {
+            MobilityMode::Stationary { arc_m } => {
+                self.speed_mps = 0.0;
+                (arc_m, 0.0)
+            }
+            MobilityMode::Walking { .. } => {
+                self.step_moving(/*accel*/ 1.0, /*jitter*/ 0.15)
+            }
+            MobilityMode::Driving { .. } => {
+                self.step_moving(/*accel*/ 2.2, /*jitter*/ 0.5)
+            }
+        }
+    }
+
+    fn step_moving(&mut self, accel: f64, jitter: f64) -> (f64, f64) {
+        if let Phase::Stopped { remaining_s } = &mut self.phase {
+            self.speed_mps = 0.0;
+            if *remaining_s > 0 {
+                *remaining_s -= 1;
+                return (self.arc_m, 0.0);
+            }
+            self.phase = Phase::Moving;
+        }
+
+        // Approach control: brake if an armed stop is within braking range.
+        let next_stop = self.armed_stops.iter().find(|&&(a, _)| a > self.arc_m).copied();
+        let mut target = self.target_mps;
+        if let Some((stop_arc, wait)) = next_stop {
+            let dist = stop_arc - self.arc_m;
+            let braking = self.speed_mps * self.speed_mps / (2.0 * accel);
+            if dist <= self.speed_mps.max(1.0) {
+                // Arrive and stop this tick.
+                self.arc_m = stop_arc;
+                self.armed_stops.retain(|&(a, _)| a > stop_arc);
+                self.speed_mps = 0.0;
+                self.phase = Phase::Stopped { remaining_s: wait };
+                return (self.arc_m, 0.0);
+            }
+            if dist < braking + self.speed_mps {
+                target = 0.0;
+            }
+        }
+
+        // Speed relaxation toward target with jitter.
+        let noise = jitter * gaussian(&mut self.rng);
+        if self.speed_mps < target {
+            self.speed_mps = (self.speed_mps + accel).min(target);
+        } else {
+            self.speed_mps = (self.speed_mps - accel).max(target);
+        }
+        self.speed_mps = (self.speed_mps + noise).max(0.0);
+        self.arc_m += self.speed_mps;
+        (self.arc_m, self.speed_mps)
+    }
+
+    /// Current arc position.
+    pub fn arc(&self) -> f64 {
+        self.arc_m
+    }
+
+    /// Stop points of the underlying route.
+    pub fn stops(&self) -> &[StopPoint] {
+        &self.stops
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f64 {
+    // Box–Muller; same approach as the radio crate (approved crates only).
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 > 1e-300 {
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walking_speed_stays_in_human_range() {
+        let mut m = MobilityModel::new(MobilityMode::walking(), &[], 1);
+        for _ in 0..100 {
+            let (_, v) = m.step();
+            assert!((0.0..3.0).contains(&v), "v = {v}");
+        }
+    }
+
+    #[test]
+    fn walking_covers_expected_distance() {
+        let mut m = MobilityModel::new(MobilityMode::walking(), &[], 2);
+        let mut last = 0.0;
+        for _ in 0..200 {
+            last = m.step().0;
+        }
+        // ~1.4 m/s × 200 s = 280 m, allow wide tolerance for pace variation.
+        assert!((180.0..400.0).contains(&last), "arc = {last}");
+    }
+
+    #[test]
+    fn driving_reaches_cruise_speed() {
+        let mut m = MobilityModel::new(MobilityMode::driving(), &[], 3);
+        let mut vmax = 0.0f64;
+        for _ in 0..60 {
+            vmax = vmax.max(m.step().1);
+        }
+        assert!(vmax > 5.5, "vmax = {vmax}");
+        assert!(vmax < 14.5, "vmax = {vmax}");
+    }
+
+    #[test]
+    fn armed_stop_halts_the_pass() {
+        let stops = [StopPoint {
+            arc_m: 30.0,
+            stop_probability: 1.0,
+            wait_s: (5, 5),
+        }];
+        let mut m = MobilityModel::new(MobilityMode::walking(), &stops, 4);
+        let mut zero_speed_at_stop = 0;
+        for _ in 0..60 {
+            let (arc, v) = m.step();
+            if (arc - 30.0).abs() < 1e-9 && v == 0.0 {
+                zero_speed_at_stop += 1;
+            }
+        }
+        assert!(zero_speed_at_stop >= 5, "stopped {zero_speed_at_stop}s");
+    }
+
+    #[test]
+    fn probability_zero_stop_never_triggers() {
+        let stops = [StopPoint {
+            arc_m: 10.0,
+            stop_probability: 0.0,
+            wait_s: (100, 100),
+        }];
+        let mut m = MobilityModel::new(MobilityMode::walking(), &stops, 5);
+        let mut halted = false;
+        let mut prev_arc = 0.0;
+        for _ in 0..40 {
+            let (arc, v) = m.step();
+            if v == 0.0 && arc > 5.0 && (arc - prev_arc).abs() < 1e-12 {
+                halted = true;
+            }
+            prev_arc = arc;
+        }
+        assert!(!halted);
+    }
+
+    #[test]
+    fn stationary_never_moves() {
+        let mut m = MobilityModel::new(MobilityMode::Stationary { arc_m: 55.0 }, &[], 6);
+        for _ in 0..20 {
+            let (arc, v) = m.step();
+            assert_eq!(arc, 55.0);
+            assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn passes_are_seed_deterministic() {
+        let stops = [StopPoint {
+            arc_m: 40.0,
+            stop_probability: 0.5,
+            wait_s: (3, 10),
+        }];
+        let mut a = MobilityModel::new(MobilityMode::driving(), &stops, 7);
+        let mut b = MobilityModel::new(MobilityMode::driving(), &stops, 7);
+        for _ in 0..50 {
+            assert_eq!(a.step(), b.step());
+        }
+    }
+
+    #[test]
+    fn transport_mode_mapping() {
+        assert_eq!(MobilityMode::walking().transport(), TransportMode::Walking);
+        assert_eq!(MobilityMode::driving().transport(), TransportMode::Driving);
+        assert_eq!(
+            MobilityMode::Stationary { arc_m: 0.0 }.transport(),
+            TransportMode::Stationary
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Property-based tests of the campaign simulator and dataset I/O.
+
+use lumos5g_sim::{airport, quality, run_campaign, CampaignConfig, Dataset, MobilityMode};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn csv_parser_never_panics_on_junk(junk in ".{0,300}") {
+        // Arbitrary text must yield Ok or Err, never a panic.
+        let _ = Dataset::from_csv(&junk);
+    }
+
+    #[test]
+    fn csv_parser_rejects_truncated_rows(ncols in 1usize..26) {
+        let row = vec!["1"; ncols].join(",");
+        let text = format!("{}\n{}\n", Dataset::CSV_HEADER, row);
+        prop_assert!(Dataset::from_csv(&text).is_err());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn campaign_invariants_hold(seed in 0u64..1000) {
+        let area = airport(seed);
+        let cfg = CampaignConfig {
+            passes_per_trajectory: 1,
+            mode: MobilityMode::walking(),
+            base_seed: seed,
+            max_duration_s: 120,
+            bad_gps_fraction: 0.2,
+            ..Default::default()
+        };
+        let raw = run_campaign(&area, &cfg);
+        prop_assert!(!raw.is_empty());
+        for r in &raw.records {
+            prop_assert!(r.throughput_mbps >= 0.0);
+            prop_assert!(r.throughput_mbps <= 2_000.0 + 1e-9);
+            prop_assert!(r.moving_speed_mps >= 0.0);
+            prop_assert!((0.0..360.0).contains(&r.compass_deg));
+            prop_assert!((0.0..360.0).contains(&r.theta_p_deg));
+            prop_assert!((0.0..360.0).contains(&r.theta_m_deg));
+            prop_assert!(r.panel_distance_m > 0.0);
+            prop_assert!(r.gps_accuracy_m > 0.0);
+            // On LTE the throughput must be 4G-like.
+            if !r.on_5g {
+                prop_assert!(r.throughput_mbps <= 280.0 + 1e-9);
+                prop_assert_eq!(r.cell_id, 1000);
+            } else {
+                prop_assert!(r.cell_id < 1000);
+            }
+        }
+        // Quality pipeline never increases record count and always trims
+        // the buffer.
+        let (clean, report) = quality::apply(&raw, &area.frame, &Default::default());
+        prop_assert!(clean.len() <= raw.len());
+        prop_assert_eq!(report.records_in, raw.len());
+        prop_assert_eq!(report.records_out, clean.len());
+        prop_assert!(clean.records.iter().all(|r| r.t >= 10));
+    }
+}

@@ -1,0 +1,151 @@
+//! Nonparametric bootstrap confidence intervals.
+//!
+//! The repro harness reports point estimates per table cell; bootstrap CIs
+//! quantify how much of a paper-vs-measured gap is just sampling noise.
+
+use crate::{Result, StatsError};
+
+/// A two-sided percentile confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Point estimate on the full sample.
+    pub estimate: f64,
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level (e.g. 0.95).
+    pub level: f64,
+}
+
+/// Percentile-bootstrap CI for an arbitrary statistic.
+///
+/// `stat` is evaluated on `resamples` with-replacement resamples of `xs`;
+/// the interval spans the `(1−level)/2` and `1−(1−level)/2` quantiles.
+/// A small deterministic xorshift generator keeps the crate free of
+/// external dependencies and results reproducible per seed.
+pub fn bootstrap_ci(
+    xs: &[f64],
+    stat: impl Fn(&[f64]) -> f64,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval> {
+    if xs.len() < 2 {
+        return Err(StatsError::TooFewSamples {
+            needed: 2,
+            got: xs.len(),
+        });
+    }
+    if !(0.0 < level && level < 1.0) {
+        return Err(StatsError::InvalidParameter("level must be in (0,1)"));
+    }
+    if resamples < 10 {
+        return Err(StatsError::InvalidParameter("need at least 10 resamples"));
+    }
+
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64*
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+
+    let n = xs.len();
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buf = vec![0.0; n];
+    for _ in 0..resamples {
+        for slot in buf.iter_mut() {
+            *slot = xs[(next() % n as u64) as usize];
+        }
+        stats.push(stat(&buf));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistic"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((resamples as f64 * alpha) as usize).min(resamples - 1);
+    let hi_idx = ((resamples as f64 * (1.0 - alpha)) as usize).min(resamples - 1);
+    Ok(ConfidenceInterval {
+        estimate: stat(xs),
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+        level,
+    })
+}
+
+/// Bootstrap CI of the mean — the common case.
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<ConfidenceInterval> {
+    bootstrap_ci(
+        xs,
+        |s| s.iter().sum::<f64>() / s.len() as f64,
+        resamples,
+        level,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_contains_the_estimate() {
+        let xs: Vec<f64> = (0..200).map(|i| (i % 17) as f64).collect();
+        let ci = bootstrap_mean_ci(&xs, 500, 0.95, 1).unwrap();
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi, "{ci:?}");
+    }
+
+    #[test]
+    fn ci_narrows_with_more_data() {
+        let small: Vec<f64> = (0..20).map(|i| (i % 7) as f64 * 10.0).collect();
+        let big: Vec<f64> = (0..2000).map(|i| (i % 7) as f64 * 10.0).collect();
+        let ci_s = bootstrap_mean_ci(&small, 500, 0.95, 2).unwrap();
+        let ci_b = bootstrap_mean_ci(&big, 500, 0.95, 2).unwrap();
+        assert!(ci_b.hi - ci_b.lo < ci_s.hi - ci_s.lo);
+    }
+
+    #[test]
+    fn constant_data_gives_degenerate_interval() {
+        let xs = vec![5.0; 50];
+        let ci = bootstrap_mean_ci(&xs, 100, 0.9, 3).unwrap();
+        assert_eq!(ci.lo, 5.0);
+        assert_eq!(ci.hi, 5.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let a = bootstrap_mean_ci(&xs, 200, 0.95, 7).unwrap();
+        let b = bootstrap_mean_ci(&xs, 200, 0.95, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_statistic_works() {
+        let xs: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        let ci = bootstrap_ci(
+            &xs,
+            |s| crate::descriptive::median(s).expect("non-empty"),
+            300,
+            0.9,
+            4,
+        )
+        .unwrap();
+        assert!((ci.estimate - 51.0).abs() < 1e-9);
+        assert!(ci.lo >= 1.0 && ci.hi <= 101.0);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let xs = [1.0, 2.0, 3.0];
+        assert!(bootstrap_mean_ci(&xs[..1], 100, 0.95, 1).is_err());
+        assert!(bootstrap_mean_ci(&xs, 5, 0.95, 1).is_err());
+        assert!(bootstrap_mean_ci(&xs, 100, 1.5, 1).is_err());
+    }
+}

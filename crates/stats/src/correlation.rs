@@ -1,0 +1,151 @@
+//! Pearson and Spearman correlation.
+//!
+//! The paper uses Spearman's rank correlation to show that throughput traces
+//! walked in the *same* direction share a monotonic trend (ρ ≈ 0.61–0.74)
+//! while traces in opposite directions do not (ρ ≈ 0.02) — §4.2, Fig 10.
+
+use crate::dist::student_t_two_sided_p;
+use crate::{Result, StatsError};
+
+/// Pearson product-moment correlation coefficient.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(StatsError::TooFewSamples {
+            needed: 2,
+            got: xs.len(),
+        });
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Result of a Spearman rank correlation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpearmanResult {
+    /// Rank correlation coefficient ρ ∈ [−1, 1].
+    pub rho: f64,
+    /// Two-sided p-value from the t approximation
+    /// `t = ρ·√((n−2)/(1−ρ²))` with `n − 2` degrees of freedom.
+    pub p_value: f64,
+}
+
+/// Spearman rank correlation with average-rank tie handling.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<SpearmanResult> {
+    if xs.len() != ys.len() {
+        return Err(StatsError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.len() < 3 {
+        return Err(StatsError::TooFewSamples {
+            needed: 3,
+            got: xs.len(),
+        });
+    }
+    let rx = average_ranks(xs);
+    let ry = average_ranks(ys);
+    let rho = pearson(&rx, &ry)?;
+    let n = xs.len() as f64;
+    let p_value = if rho.abs() >= 1.0 {
+        0.0
+    } else {
+        let t = rho * ((n - 2.0) / (1.0 - rho * rho)).sqrt();
+        student_t_two_sided_p(t, n - 2.0)
+    };
+    Ok(SpearmanResult { rho, p_value })
+}
+
+/// Assign fractional (average) ranks, 1-based, ties sharing the mean rank.
+pub fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average of 1-based ranks i+1 ..= j+1.
+        let avg = (i + j + 2) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_rejects_constant_input() {
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), Err(StatsError::ZeroVariance));
+    }
+
+    #[test]
+    fn ranks_handle_ties_with_averages() {
+        let r = average_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [1.0, 8.0, 27.0, 64.0, 125.0];
+        let r = spearman(&xs, &ys).unwrap();
+        assert!((r.rho - 1.0).abs() < 1e-12);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn spearman_reference_against_scipy() {
+        // scipy.stats.spearmanr([1,2,3,4,5], [5,6,7,8,7]) -> rho = 0.8207...
+        let r = spearman(&[1.0, 2.0, 3.0, 4.0, 5.0], &[5.0, 6.0, 7.0, 8.0, 7.0]).unwrap();
+        assert!((r.rho - 0.820_782_681_6).abs() < 1e-8);
+    }
+
+    #[test]
+    fn spearman_length_mismatch_is_error() {
+        assert!(spearman(&[1.0, 2.0, 3.0], &[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,174 @@
+//! Empirical CDFs and histograms for the paper's distribution plots
+//! (Fig 7b CV CDF, Fig 10 Spearman CDFs, Fig 17).
+
+use crate::{Result, StatsError};
+
+/// An empirical cumulative distribution function over a sample.
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build an ECDF from samples. Errors on empty input.
+    pub fn new(xs: &[f64]) -> Result<Self> {
+        if xs.is_empty() {
+            return Err(StatsError::TooFewSamples { needed: 1, got: 0 });
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in ECDF input"));
+        Ok(Ecdf { sorted })
+    }
+
+    /// `F(x) = P(X <= x)`, a right-continuous step function.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point gives the count of elements <= x.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Fraction of samples that are at least `x` (used for "CV ≥ 50%" style
+    /// statements in §4.1).
+    pub fn fraction_at_least(&self, x: f64) -> f64 {
+        let below = self.sorted.partition_point(|&v| v < x);
+        (self.sorted.len() - below) as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of underlying samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Evaluate the ECDF on an evenly spaced grid spanning the data range,
+    /// returning `(x, F(x))` pairs — convenient for plotting/export.
+    pub fn curve(&self, points: usize) -> Vec<(f64, f64)> {
+        let lo = self.sorted[0];
+        let hi = self.sorted[self.sorted.len() - 1];
+        if points <= 1 || lo == hi {
+            return vec![(lo, self.eval(lo))];
+        }
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+/// Fixed-width histogram over a closed range.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    width: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo` or above the top edge.
+    pub outliers: u64,
+}
+
+impl Histogram {
+    /// Create a histogram of `bins` equal-width bins covering `[lo, hi)`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if bins == 0 || hi <= lo {
+            return Err(StatsError::InvalidParameter(
+                "histogram requires hi > lo and bins > 0",
+            ));
+        }
+        Ok(Histogram {
+            lo,
+            width: (hi - lo) / bins as f64,
+            counts: vec![0; bins],
+            outliers: 0,
+        })
+    }
+
+    /// Insert one observation.
+    pub fn add(&mut self, x: f64) {
+        let idx = (x - self.lo) / self.width;
+        if idx < 0.0 || idx >= self.counts.len() as f64 {
+            self.outliers += 1;
+        } else {
+            self.counts[idx as usize] += 1;
+        }
+    }
+
+    /// Insert many observations.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// `(low_edge, high_edge)` of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let lo = self.lo + self.width * i as f64;
+        (lo, lo + self.width)
+    }
+
+    /// Total in-range count.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecdf_step_values() {
+        let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((e.eval(0.5) - 0.0).abs() < 1e-12);
+        assert!((e.eval(1.0) - 0.25).abs() < 1e-12);
+        assert!((e.eval(2.5) - 0.5).abs() < 1e-12);
+        assert!((e.eval(10.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_fraction_at_least() {
+        let e = Ecdf::new(&[0.2, 0.5, 0.5, 0.9]).unwrap();
+        assert!((e.fraction_at_least(0.5) - 0.75).abs() < 1e-12);
+        assert!((e.fraction_at_least(0.95) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ecdf_is_monotone() {
+        let e = Ecdf::new(&[3.0, 1.0, 4.0, 1.0, 5.0]).unwrap();
+        let curve = e.curve(20);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_outliers() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        h.extend(&[0.5, 1.5, 2.5, 9.9, 10.0, -1.0]);
+        assert_eq!(h.counts(), &[2, 1, 0, 0, 1]);
+        assert_eq!(h.outliers, 2);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn histogram_rejects_bad_range() {
+        assert!(Histogram::new(5.0, 5.0, 3).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+    }
+
+    #[test]
+    fn histogram_bin_edges() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_edges(0), (0.0, 2.0));
+        assert_eq!(h.bin_edges(4), (8.0, 10.0));
+    }
+}

@@ -1,0 +1,355 @@
+//! Hypothesis tests used by the paper's impact-factor analysis (§4, App A.1):
+//! Welch's t-test and Levene's test for the pairwise geolocation comparisons
+//! (Table 5, Fig 7a, Fig 17), and the D'Agostino–Pearson / Anderson–Darling
+//! normality tests (Table 4, Fig 17).
+
+use crate::descriptive::{kurtosis, mean, median, skewness, variance};
+use crate::dist::{chi2_sf, f_sf, normal_cdf, student_t_two_sided_p};
+use crate::{Result, StatsError};
+
+/// Outcome of a hypothesis test: the statistic and its p-value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// Test statistic (t, W, K², A*², … depending on the test).
+    pub statistic: f64,
+    /// p-value under the test's null hypothesis.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// True when the null hypothesis is rejected at significance `alpha`.
+    pub fn rejects_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Welch's unequal-variance t-test (two-sided).
+///
+/// Null hypothesis: the two samples have equal means. The paper uses this
+/// pairwise across geolocation grid cells to show that ~70% of cell pairs
+/// have significantly different mean throughput (Table 5).
+pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
+    if xs.len() < 2 || ys.len() < 2 {
+        return Err(StatsError::TooFewSamples {
+            needed: 2,
+            got: xs.len().min(ys.len()),
+        });
+    }
+    let (mx, my) = (mean(xs)?, mean(ys)?);
+    let (vx, vy) = (variance(xs)?, variance(ys)?);
+    let (nx, ny) = (xs.len() as f64, ys.len() as f64);
+    let se2 = vx / nx + vy / ny;
+    if se2 == 0.0 {
+        // Both samples constant: equal means ⇒ p = 1, different ⇒ p = 0.
+        let p = if mx == my { 1.0 } else { 0.0 };
+        return Ok(TestResult {
+            statistic: if mx == my { 0.0 } else { f64::INFINITY },
+            p_value: p,
+        });
+    }
+    let t = (mx - my) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2
+        / ((vx / nx).powi(2) / (nx - 1.0) + (vy / ny).powi(2) / (ny - 1.0));
+    Ok(TestResult {
+        statistic: t,
+        p_value: student_t_two_sided_p(t, df),
+    })
+}
+
+/// Which center Levene's test subtracts before taking absolute deviations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeveneCenter {
+    /// Classic Levene (1960): deviations from the group mean.
+    Mean,
+    /// Brown–Forsythe (1974): deviations from the group median, more robust
+    /// to heavy tails — what SciPy defaults to.
+    Median,
+}
+
+/// Levene's test for equality of variances across `groups`.
+///
+/// Null hypothesis: all groups share the same variance. Used pairwise by the
+/// paper to show that >60% of geolocation pairs differ in throughput
+/// *variance* as well as mean (Table 5, Fig 17).
+pub fn levene_test(groups: &[&[f64]], center: LeveneCenter) -> Result<TestResult> {
+    let k = groups.len();
+    if k < 2 {
+        return Err(StatsError::TooFewSamples { needed: 2, got: k });
+    }
+    for g in groups {
+        if g.len() < 2 {
+            return Err(StatsError::TooFewSamples {
+                needed: 2,
+                got: g.len(),
+            });
+        }
+    }
+    let n_total: usize = groups.iter().map(|g| g.len()).sum();
+
+    // Z_ij = |x_ij − center_i|
+    let mut z_groups: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for g in groups {
+        let c = match center {
+            LeveneCenter::Mean => mean(g)?,
+            LeveneCenter::Median => median(g)?,
+        };
+        z_groups.push(g.iter().map(|x| (x - c).abs()).collect());
+    }
+    let z_bar_i: Vec<f64> = z_groups.iter().map(|z| mean(z).unwrap()).collect();
+    let z_bar = z_groups.iter().flatten().sum::<f64>() / n_total as f64;
+
+    let numer: f64 = z_groups
+        .iter()
+        .zip(&z_bar_i)
+        .map(|(z, &zi)| z.len() as f64 * (zi - z_bar).powi(2))
+        .sum::<f64>()
+        * (n_total - k) as f64;
+    let denom: f64 = z_groups
+        .iter()
+        .zip(&z_bar_i)
+        .map(|(z, &zi)| z.iter().map(|&zij| (zij - zi).powi(2)).sum::<f64>())
+        .sum::<f64>()
+        * (k - 1) as f64;
+
+    if denom == 0.0 {
+        // All within-group deviations identical ⇒ cannot reject.
+        return Ok(TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+        });
+    }
+    let w = numer / denom;
+    Ok(TestResult {
+        statistic: w,
+        p_value: f_sf(w, (k - 1) as f64, (n_total - k) as f64),
+    })
+}
+
+/// D'Agostino–Pearson K² omnibus normality test.
+///
+/// Combines a skewness z-test (D'Agostino 1970) and a kurtosis z-test
+/// (Anscombe–Glynn 1983); `K² = z₁² + z₂² ~ χ²(2)` under normality. The paper
+/// applies this per geolocation to show ~48% of indoor cells are non-normal
+/// (Table 4). Requires `n >= 20` for the asymptotics to be reasonable.
+pub fn dagostino_pearson(xs: &[f64]) -> Result<TestResult> {
+    let n = xs.len();
+    if n < 20 {
+        return Err(StatsError::TooFewSamples { needed: 20, got: n });
+    }
+    let z1 = skew_test_z(xs)?;
+    let z2 = kurtosis_test_z(xs)?;
+    let k2 = z1 * z1 + z2 * z2;
+    Ok(TestResult {
+        statistic: k2,
+        p_value: chi2_sf(k2, 2.0),
+    })
+}
+
+/// Transformed skewness z-score (D'Agostino 1970), standard normal under H₀.
+fn skew_test_z(xs: &[f64]) -> Result<f64> {
+    let n = xs.len() as f64;
+    let g1 = skewness(xs)?;
+    let y = g1 * ((n + 1.0) * (n + 3.0) / (6.0 * (n - 2.0))).sqrt();
+    let beta2 = 3.0 * (n * n + 27.0 * n - 70.0) * (n + 1.0) * (n + 3.0)
+        / ((n - 2.0) * (n + 5.0) * (n + 7.0) * (n + 9.0));
+    let w2 = -1.0 + (2.0 * (beta2 - 1.0)).sqrt();
+    let delta = 1.0 / (0.5 * w2.ln()).sqrt();
+    let alpha = (2.0 / (w2 - 1.0)).sqrt();
+    let y_over = y / alpha;
+    Ok(delta * (y_over + (y_over * y_over + 1.0).sqrt()).ln())
+}
+
+/// Transformed kurtosis z-score (Anscombe–Glynn 1983), standard normal under H₀.
+fn kurtosis_test_z(xs: &[f64]) -> Result<f64> {
+    let n = xs.len() as f64;
+    let b2 = kurtosis(xs)?;
+    let eb2 = 3.0 * (n - 1.0) / (n + 1.0);
+    let vb2 = 24.0 * n * (n - 2.0) * (n - 3.0) / ((n + 1.0).powi(2) * (n + 3.0) * (n + 5.0));
+    let x = (b2 - eb2) / vb2.sqrt();
+    let sqrt_beta1 = 6.0 * (n * n - 5.0 * n + 2.0) / ((n + 7.0) * (n + 9.0))
+        * (6.0 * (n + 3.0) * (n + 5.0) / (n * (n - 2.0) * (n - 3.0))).sqrt();
+    let a = 6.0 + 8.0 / sqrt_beta1 * (2.0 / sqrt_beta1 + (1.0 + 4.0 / (sqrt_beta1 * sqrt_beta1)).sqrt());
+    let term = (1.0 - 2.0 / a) / (1.0 + x * (2.0 / (a - 4.0)).sqrt());
+    let z = ((1.0 - 2.0 / (9.0 * a)) - term.cbrt()) / (2.0 / (9.0 * a)).sqrt();
+    Ok(z)
+}
+
+/// Anderson–Darling test for normality with estimated mean and variance
+/// ("case 4"), using Stephens' small-sample correction and D'Agostino's
+/// p-value approximation.
+pub fn anderson_darling_normality(xs: &[f64]) -> Result<TestResult> {
+    let n = xs.len();
+    if n < 8 {
+        return Err(StatsError::TooFewSamples { needed: 8, got: n });
+    }
+    let m = mean(xs)?;
+    let s = variance(xs)?.sqrt();
+    if s == 0.0 {
+        return Err(StatsError::ZeroVariance);
+    }
+    let mut z: Vec<f64> = xs.iter().map(|x| normal_cdf((x - m) / s)).collect();
+    z.sort_by(|a, b| a.partial_cmp(b).expect("NaN in AD input"));
+    // Clamp to avoid log(0) from extreme standardized values.
+    for zi in &mut z {
+        *zi = zi.clamp(1e-12, 1.0 - 1e-12);
+    }
+    let nf = n as f64;
+    let mut a2 = 0.0;
+    for i in 0..n {
+        let w = (2 * i + 1) as f64;
+        a2 += w * (z[i].ln() + (1.0 - z[n - 1 - i]).ln());
+    }
+    let a2 = -nf - a2 / nf;
+    // Small-sample correction for estimated parameters.
+    let a2_star = a2 * (1.0 + 0.75 / nf + 2.25 / (nf * nf));
+    let p = if a2_star >= 0.6 {
+        (1.2937 - 5.709 * a2_star + 0.0186 * a2_star * a2_star).exp()
+    } else if a2_star >= 0.34 {
+        (0.9177 - 4.279 * a2_star - 1.38 * a2_star * a2_star).exp()
+    } else if a2_star >= 0.2 {
+        1.0 - (-8.318 + 42.796 * a2_star - 59.938 * a2_star * a2_star).exp()
+    } else {
+        1.0 - (-13.436 + 101.14 * a2_star - 223.73 * a2_star * a2_star).exp()
+    };
+    Ok(TestResult {
+        statistic: a2_star,
+        p_value: p.clamp(0.0, 1.0),
+    })
+}
+
+/// Paper-style normality check: a sample is "normal" if it passes **either**
+/// D'Agostino–Pearson or Anderson–Darling at significance `alpha`
+/// (§4.1: "We consider the measurements associated with a geolocation as
+/// normal if they pass any of the two types").
+pub fn passes_either_normality(xs: &[f64], alpha: f64) -> bool {
+    let dp_ok = dagostino_pearson(xs).map(|r| !r.rejects_at(alpha));
+    let ad_ok = anderson_darling_normality(xs).map(|r| !r.rejects_at(alpha));
+    match (dp_ok, ad_ok) {
+        (Ok(a), Ok(b)) => a || b,
+        (Ok(a), Err(_)) => a,
+        (Err(_), Ok(b)) => b,
+        // Too few samples for both tests: treat as non-normal evidence-free.
+        (Err(_), Err(_)) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-normal data via the inverse CDF of evenly spaced
+    /// probabilities (a perfect normal sample in distributional terms).
+    fn normal_scores(n: usize, mu: f64, sigma: f64) -> Vec<f64> {
+        (1..=n)
+            .map(|i| {
+                let p = i as f64 / (n as f64 + 1.0);
+                mu + sigma * crate::dist::normal_quantile(p)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn welch_identical_samples_have_p_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let r = welch_t_test(&xs, &xs).unwrap();
+        assert!((r.statistic).abs() < 1e-12);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welch_detects_separated_means() {
+        let xs: Vec<f64> = normal_scores(30, 0.0, 1.0);
+        let ys: Vec<f64> = normal_scores(30, 5.0, 1.0);
+        let r = welch_t_test(&xs, &ys).unwrap();
+        assert!(r.p_value < 1e-6);
+        assert!(r.statistic < 0.0); // mean(xs) < mean(ys)
+    }
+
+    #[test]
+    fn welch_reference_against_scipy() {
+        // Hand computation: means 3 and 6, variances 2.5 and 10 (n = 5 each)
+        // ⇒ t = −3/√(0.5 + 2) = −1.897366…, Welch df = 2.5²/(0.0625 + 1) ≈ 5.882.
+        let r = welch_t_test(&[1.0, 2.0, 3.0, 4.0, 5.0], &[2.0, 4.0, 6.0, 8.0, 10.0]).unwrap();
+        assert!((r.statistic + 1.897_366_596).abs() < 1e-8);
+        assert!(r.p_value > 0.09 && r.p_value < 0.13, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn welch_requires_two_samples_each() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn levene_equal_variances_not_rejected() {
+        let a = normal_scores(40, 0.0, 1.0);
+        let b = normal_scores(40, 10.0, 1.0); // same spread, different mean
+        let r = levene_test(&[&a, &b], LeveneCenter::Median).unwrap();
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn levene_detects_different_variances() {
+        let a = normal_scores(40, 0.0, 1.0);
+        let b = normal_scores(40, 0.0, 6.0);
+        let r = levene_test(&[&a, &b], LeveneCenter::Median).unwrap();
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn levene_mean_center_matches_brown_forsythe_on_symmetric_data() {
+        let a = normal_scores(50, 0.0, 1.0);
+        let b = normal_scores(50, 0.0, 2.0);
+        let rm = levene_test(&[&a, &b], LeveneCenter::Mean).unwrap();
+        let rmed = levene_test(&[&a, &b], LeveneCenter::Median).unwrap();
+        // Both should reject; statistics are close for symmetric data.
+        assert!(rm.p_value < 0.05 && rmed.p_value < 0.05);
+    }
+
+    #[test]
+    fn dagostino_accepts_normal_scores() {
+        let xs = normal_scores(200, 3.0, 2.0);
+        let r = dagostino_pearson(&xs).unwrap();
+        assert!(r.p_value > 0.2, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn dagostino_rejects_exponential_shape() {
+        // Exponential quantiles are strongly skewed.
+        let xs: Vec<f64> = (1..=200)
+            .map(|i| -((1.0 - i as f64 / 201.0) as f64).ln())
+            .collect();
+        let r = dagostino_pearson(&xs).unwrap();
+        assert!(r.p_value < 1e-4, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn dagostino_needs_twenty_samples() {
+        assert!(dagostino_pearson(&[1.0; 10]).is_err());
+    }
+
+    #[test]
+    fn anderson_darling_accepts_normal_scores() {
+        let xs = normal_scores(100, -1.0, 0.5);
+        let r = anderson_darling_normality(&xs).unwrap();
+        assert!(r.p_value > 0.2, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn anderson_darling_rejects_uniform_tails() {
+        // Uniform data has truncated tails relative to a normal.
+        let xs: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let r = anderson_darling_normality(&xs).unwrap();
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn either_normality_matches_components() {
+        let xs = normal_scores(100, 0.0, 1.0);
+        assert!(passes_either_normality(&xs, 0.001));
+        let expo: Vec<f64> = (1..=100)
+            .map(|i| -((1.0 - i as f64 / 101.0) as f64).ln())
+            .collect();
+        assert!(!passes_either_normality(&expo, 0.05));
+    }
+}

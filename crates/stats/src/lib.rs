@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+
+//! # lumos5g-stats
+//!
+//! Statistics substrate for the Lumos5G reproduction.
+//!
+//! The paper's §4 impact-factor analysis relies on a toolbox of classical
+//! statistics: coefficients of variation, normality tests
+//! (D'Agostino–Pearson and Anderson–Darling), pairwise Welch t-tests and
+//! Levene tests across geolocations, and Spearman rank correlation between
+//! throughput traces. None of these are available offline in the approved
+//! crate set, so this crate implements them from scratch with unit tests
+//! pinned against published reference values.
+//!
+//! Layout:
+//! - [`descriptive`]: means, variances, CV, quantiles, box-plot summaries.
+//! - [`special`]: erf, log-gamma, regularized incomplete gamma/beta.
+//! - [`dist`]: Normal, Student-t, chi-squared and F distribution CDFs.
+//! - [`htest`]: Welch t-test, Levene / Brown–Forsythe, D'Agostino–Pearson,
+//!   Anderson–Darling.
+//! - [`correlation`]: Pearson and Spearman (tie-aware) correlation.
+//! - [`ecdf`]: empirical CDFs and fixed-width histograms.
+
+pub mod bootstrap;
+pub mod correlation;
+pub mod descriptive;
+pub mod dist;
+pub mod ecdf;
+pub mod htest;
+pub mod special;
+
+pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci, ConfidenceInterval};
+pub use correlation::{pearson, spearman, SpearmanResult};
+pub use descriptive::{
+    coefficient_of_variation, mean, median, quantile, std_dev, variance, Summary,
+};
+pub use ecdf::{Ecdf, Histogram};
+pub use htest::{
+    anderson_darling_normality, dagostino_pearson, levene_test, welch_t_test, LeveneCenter,
+    TestResult,
+};
+
+/// Errors produced by statistical routines on degenerate inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// The input slice was empty or shorter than the minimum the routine needs.
+    TooFewSamples {
+        /// Number of samples required.
+        needed: usize,
+        /// Number of samples supplied.
+        got: usize,
+    },
+    /// A variance of zero (constant data) makes the requested statistic undefined.
+    ZeroVariance,
+    /// Two paired inputs had different lengths.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// A parameter was outside its valid domain (e.g. quantile not in \[0,1\]).
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for StatsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StatsError::TooFewSamples { needed, got } => {
+                write!(f, "too few samples: needed {needed}, got {got}")
+            }
+            StatsError::ZeroVariance => write!(f, "zero variance makes the statistic undefined"),
+            StatsError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            StatsError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,62 @@
+//! Quickstart: simulate a small measurement campaign, clean it with the
+//! paper's §3.1 quality pipeline, train a Lumos5G GDBT model on the L+M
+//! feature group, and report the paper's metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lumos5g::prelude::*;
+use lumos5g_ml::{mae, rmse};
+use lumos5g_sim::{airport, quality, run_campaign, CampaignConfig};
+
+fn main() {
+    // 1. Simulate walking passes through the Airport corridor (the paper's
+    //    indoor area: two head-on mmWave panels, booth obstacles).
+    let area = airport(7);
+    let cfg = CampaignConfig {
+        passes_per_trajectory: 6,
+        max_duration_s: 400,
+        ..Default::default()
+    };
+    let raw = run_campaign(&area, &cfg);
+    println!("raw records: {}", raw.len());
+
+    // 2. Quality pipeline: discard bad-GPS passes, trim the calibration
+    //    buffer, pixelize to the zoom-17 grid.
+    let (data, report) = quality::apply(&raw, &area.frame, &Default::default());
+    println!(
+        "after pipeline: {} records ({} of {} passes discarded)",
+        data.len(),
+        report.passes_discarded,
+        report.passes_total
+    );
+
+    // 3. Train the composable predictor: GDBT on Location + Mobility.
+    let model = Lumos5G::new(FeatureSet::LM, ModelKind::Gdbt(quick_gbdt()))
+        .fit_regression(&data)
+        .expect("training data available");
+
+    // 4. Evaluate next-second throughput prediction.
+    let (truth, pred) = model.eval(&data);
+    println!("\nGDBT (L+M) on {} samples:", truth.len());
+    println!("  MAE  = {:>6.1} Mbps", mae(&truth, &pred));
+    println!("  RMSE = {:>6.1} Mbps", rmse(&truth, &pred));
+
+    // 5. Qualitative view: the 3-class prediction of §5.2.
+    let clf = Lumos5G::new(FeatureSet::LM, ModelKind::Gdbt(quick_gbdt()))
+        .fit_classification(&data)
+        .expect("training data available");
+    let (ct, cp) = clf.eval(&data);
+    let f1 = lumos5g_ml::weighted_f1(&ct, &cp, ThroughputClass::COUNT);
+    println!("  weighted F1 (low/medium/high classes) = {f1:.3}");
+
+    // 6. And the throughput map the paper envisions (Fig 3c/6).
+    let map = ThroughputMap::from_dataset(&data);
+    println!(
+        "\nthroughput map: {} populated 2m cells ({}% above 1 Gbps)",
+        map.len(),
+        (map.bucket_fraction(5) * 100.0).round()
+    );
+    println!("{}", map.to_ascii());
+}

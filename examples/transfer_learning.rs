@@ -1,0 +1,55 @@
+//! Cross-panel transferability (§6.2): tower-based (T+M) features are
+//! location-agnostic, so a model trained on one panel's surroundings can
+//! predict throughput around a *different* panel it has never seen.
+//!
+//! ```text
+//! cargo run --release --example transfer_learning
+//! ```
+
+use lumos5g::prelude::*;
+use lumos5g::transfer::panel_transfer;
+use lumos5g_sim::{airport, quality, run_campaign, CampaignConfig};
+
+fn main() {
+    let area = airport(29);
+    let cfg = CampaignConfig {
+        passes_per_trajectory: 10,
+        max_duration_s: 400,
+        bad_gps_fraction: 0.0,
+        ..Default::default()
+    };
+    let raw = run_campaign(&area, &cfg);
+    let (data, _) = quality::apply(&raw, &area.frame, &Default::default());
+
+    // Panel ids at the Airport: 1 = South, 2 = North (see lumos5g_sim).
+    println!("Training a T+M GDBT classifier on NORTH-panel samples,");
+    println!("testing on SOUTH-panel samples the model never saw.\n");
+
+    let r = panel_transfer(&data, 2, 1, &quick_gbdt(), 25.0).expect("enough samples");
+    println!("overall weighted-F1 on the unseen panel : {:.2}", r.overall_f1);
+    println!(
+        "weighted-F1 within {:.0} m of the panel    : {:.2}  ({} samples)",
+        r.near_radius_m, r.near_f1, r.n_near
+    );
+
+    // Control: train and test on the same (south) panel.
+    let control = panel_transfer(&data, 1, 1, &quick_gbdt(), 25.0).expect("enough samples");
+    println!("same-panel control weighted-F1          : {:.2}", control.overall_f1);
+
+    println!(
+        "\nPaper §6.2 reports 0.71 overall rising to 0.91 near-field —\n\
+         the same pattern: geometry transfers, far-field clutter does not."
+    );
+
+    // Contrast with location-based features, which cannot transfer at all:
+    // an L+M model trained on the north half has never seen the south
+    // half's coordinates.
+    let north_half = data.filter(|r| r.true_y_m > 160.0);
+    let south_half = data.filter(|r| r.true_y_m <= 160.0);
+    let lm = Lumos5G::new(FeatureSet::LM, ModelKind::Gdbt(quick_gbdt()))
+        .fit_classification(&north_half)
+        .expect("train");
+    let (t, p) = lm.eval(&south_half);
+    let f1 = lumos5g_ml::weighted_f1(&t, &p, ThroughputClass::COUNT);
+    println!("\nL+M model trained north / tested south weighted-F1: {f1:.2} (location features do not transfer)");
+}

@@ -1,0 +1,3 @@
+//! Workspace-level umbrella crate: hosts the integration tests in `tests/`
+//! and the runnable examples in `examples/`. All functionality lives in the
+//! `lumos5g-*` member crates; see the workspace README for an overview.

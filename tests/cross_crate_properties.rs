@@ -1,0 +1,148 @@
+//! Property-based tests for cross-crate invariants (proptest).
+
+use lumos5g::classes::ThroughputClass;
+use lumos5g_geo::{
+    fold_angle_deg, mobility_angle_deg, normalize_deg, positional_angle_deg, GridIndex, LatLon,
+    LocalFrame, PanelPose, Point2,
+};
+use lumos5g_ml::dataset::TargetScaler;
+use lumos5g_ml::StandardScaler;
+use lumos5g_radio::{capacity_mbps, CapacityConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn angle_normalization_is_idempotent(a in -1e4f64..1e4) {
+        let n = normalize_deg(a);
+        prop_assert!((0.0..360.0).contains(&n));
+        prop_assert!((normalize_deg(n) - n).abs() < 1e-9);
+    }
+
+    #[test]
+    fn folded_angles_stay_in_half_circle(a in -1e4f64..1e4) {
+        let f = fold_angle_deg(a);
+        prop_assert!((0.0..=180.0).contains(&f));
+    }
+
+    #[test]
+    fn pixel_roundtrip_error_bounded(
+        lat in 44.0f64..46.0,
+        lon in -94.0f64..-92.0,
+    ) {
+        let p = LatLon::new(lat, lon);
+        let px = p.to_pixel(17);
+        let back = px.center_latlon();
+        let frame = LocalFrame::new(p);
+        let err = frame.to_local(back);
+        let d = (err.x * err.x + err.y * err.y).sqrt();
+        // Must stay within one pixel diagonal (≈1.2 m at these latitudes).
+        prop_assert!(d < 1.3, "pixel roundtrip moved {d} m");
+    }
+
+    #[test]
+    fn local_frame_roundtrip(
+        lat in 44.0f64..46.0,
+        lon in -94.0f64..-92.0,
+        x in -2000.0f64..2000.0,
+        y in -2000.0f64..2000.0,
+    ) {
+        let frame = LocalFrame::new(LatLon::new(lat, lon));
+        let p = Point2::new(x, y);
+        let rt = frame.to_local(frame.to_latlon(p));
+        prop_assert!((rt.x - x).abs() < 1e-6);
+        prop_assert!((rt.y - y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_cell_contains_its_center(x in -1e5f64..1e5, y in -1e5f64..1e5, size in 0.5f64..50.0) {
+        let g = GridIndex::new(size);
+        let c = g.cell_of(Point2::new(x, y));
+        prop_assert_eq!(g.cell_of(g.center_of(c)), c);
+    }
+
+    #[test]
+    fn positional_angle_in_range(
+        px in -500.0f64..500.0, py in -500.0f64..500.0,
+        az in 0.0f64..360.0,
+        ux in -500.0f64..500.0, uy in -500.0f64..500.0,
+    ) {
+        prop_assume!((px - ux).abs() > 1e-6 || (py - uy).abs() > 1e-6);
+        let pose = PanelPose::new(Point2::new(px, py), az);
+        let tp = positional_angle_deg(&pose, Point2::new(ux, uy));
+        prop_assert!((0.0..360.0).contains(&tp));
+    }
+
+    #[test]
+    fn mobility_angle_shifts_with_heading(
+        az in 0.0f64..360.0,
+        heading in 0.0f64..360.0,
+    ) {
+        let pose = PanelPose::new(Point2::new(0.0, 0.0), az);
+        let tm = mobility_angle_deg(&pose, heading);
+        // Definition: θm = heading − azimuth (mod 360).
+        prop_assert!((tm - normalize_deg(heading - az)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacity_is_monotone_and_bounded(s1 in -20.0f64..60.0, s2 in -20.0f64..60.0) {
+        let cfg = CapacityConfig::default();
+        let (lo, hi) = if s1 <= s2 { (s1, s2) } else { (s2, s1) };
+        let c_lo = capacity_mbps(lo, &cfg);
+        let c_hi = capacity_mbps(hi, &cfg);
+        prop_assert!(c_lo <= c_hi + 1e-9);
+        prop_assert!((0.0..=cfg.max_mbps).contains(&c_hi));
+    }
+
+    #[test]
+    fn throughput_classes_partition_the_line(t in 0.0f64..3000.0) {
+        let c = ThroughputClass::of(t);
+        match c {
+            ThroughputClass::Low => prop_assert!(t < 300.0),
+            ThroughputClass::Medium => prop_assert!((300.0..700.0).contains(&t)),
+            ThroughputClass::High => prop_assert!(t >= 700.0),
+        }
+    }
+
+    #[test]
+    fn scaler_roundtrip_is_identity(
+        vals in prop::collection::vec(-1e4f64..1e4, 4..40),
+    ) {
+        let rows: Vec<Vec<f64>> = vals.iter().map(|&v| vec![v, v * 2.0 + 1.0]).collect();
+        let s = StandardScaler::fit(&rows);
+        for r in &rows {
+            let rt = s.inverse_row(&s.transform_row(r));
+            prop_assert!((rt[0] - r[0]).abs() < 1e-6);
+            prop_assert!((rt[1] - r[1]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn target_scaler_roundtrip(vals in prop::collection::vec(-1e5f64..1e5, 2..50), probe in -1e5f64..1e5) {
+        let t = TargetScaler::fit(&vals);
+        prop_assert!((t.inverse(t.transform(probe)) - probe).abs() < 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn tcp_goodput_never_exceeds_capacity(
+        caps in prop::collection::vec(0.0f64..2500.0, 5..25),
+        seed in 0u64..1000,
+    ) {
+        let mut s = lumos5g_net::BulkSession::new(lumos5g_net::TcpConfig::iperf_default(), seed);
+        for &c in &caps {
+            let g = s.step_second(c);
+            prop_assert!(g <= c + 1e-9, "goodput {g} > capacity {c}");
+            prop_assert!(g >= 0.0);
+        }
+    }
+
+    #[test]
+    fn shadow_field_is_pure(seed in 0u64..500, x in -1e3f64..1e3, y in -1e3f64..1e3) {
+        let f = lumos5g_radio::ShadowField::mmwave_default(seed);
+        let p = Point2::new(x, y);
+        prop_assert_eq!(f.sample_db(p), f.sample_db(p));
+    }
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration: campaign → quality pipeline → features → models
+//! → metrics, asserting the paper's headline *orderings* hold on simulated
+//! data (absolute numbers are sim-specific; orderings are the claims).
+
+use lumos5g::prelude::*;
+use lumos5g_sim::{airport, quality, run_campaign, CampaignConfig, Dataset};
+
+fn airport_data(seed: u64) -> Dataset {
+    let area = airport(seed);
+    let cfg = CampaignConfig {
+        passes_per_trajectory: 6,
+        max_duration_s: 350,
+        base_seed: seed,
+        bad_gps_fraction: 0.0,
+        ..Default::default()
+    };
+    let raw = run_campaign(&area, &cfg);
+    quality::apply(&raw, &area.frame, &Default::default()).0
+}
+
+#[test]
+fn location_alone_is_insufficient() {
+    // §4.1: geolocation-only models yield poor accuracy; adding mobility
+    // factors materially improves prediction (Table 4).
+    let data = airport_data(101);
+    let knn = ModelKind::Knn { k: 5 };
+    let l = regression_eval(&data, FeatureSet::L, &knn, 1).unwrap();
+    let ltm = regression_eval(&data, FeatureSet::LTM, &knn, 1).unwrap();
+    assert!(
+        ltm.mae < 0.7 * l.mae,
+        "mobility factors should cut KNN MAE ≥30%: L {:.0} vs L+T+M {:.0}",
+        l.mae,
+        ltm.mae
+    );
+}
+
+#[test]
+fn gdbt_beats_all_baselines_on_rich_features() {
+    // Table 9: GDBT with L+M+C beats KNN/RF with the same features.
+    let data = airport_data(102);
+    let gbdt = regression_eval(&data, FeatureSet::LMC, &ModelKind::Gdbt(quick_gbdt()), 1).unwrap();
+    let knn = regression_eval(&data, FeatureSet::LMC, &ModelKind::Knn { k: 5 }, 1).unwrap();
+    assert!(
+        gbdt.mae < knn.mae,
+        "GDBT {:.0} should beat KNN {:.0}",
+        gbdt.mae,
+        knn.mae
+    );
+}
+
+#[test]
+fn kriging_is_the_weakest_location_model() {
+    // §7: geospatial interpolation cannot cope with mmWave discontinuities;
+    // Table 9 shows OK worst on L.
+    let data = airport_data(103);
+    let ok = regression_eval(&data, FeatureSet::L, &ModelKind::Kriging { neighbors: 16 }, 1)
+        .unwrap();
+    let gbdt = regression_eval(&data, FeatureSet::L, &ModelKind::Gdbt(quick_gbdt()), 1).unwrap();
+    assert!(
+        ok.rmse >= gbdt.rmse * 0.95,
+        "OK RMSE {:.0} should not beat GDBT RMSE {:.0}",
+        ok.rmse,
+        gbdt.rmse
+    );
+}
+
+#[test]
+fn feature_sets_order_as_in_table8() {
+    // Table 8 (per area): L is worst; adding M improves; adding C improves
+    // again. Allow small slack for split noise.
+    let data = airport_data(104);
+    let m = ModelKind::Gdbt(quick_gbdt());
+    let l = regression_eval(&data, FeatureSet::L, &m, 1).unwrap().mae;
+    let lm = regression_eval(&data, FeatureSet::LM, &m, 1).unwrap().mae;
+    let lmc = regression_eval(&data, FeatureSet::LMC, &m, 1).unwrap().mae;
+    assert!(lm < l, "L+M ({lm:.0}) must beat L ({l:.0})");
+    assert!(lmc < lm * 1.1, "L+M+C ({lmc:.0}) should not regress vs L+M ({lm:.0})");
+}
+
+#[test]
+fn tower_features_match_location_features() {
+    // §6.2: T+M prediction quality matches L+M (the location-agnostic
+    // features carry the same signal inside one area).
+    let data = airport_data(105);
+    let m = ModelKind::Gdbt(quick_gbdt());
+    let lm = classification_eval(&data, FeatureSet::LM, &m, 1).unwrap();
+    let tm = classification_eval(&data, FeatureSet::TM, &m, 1).unwrap();
+    assert!(
+        (lm.weighted_f1 - tm.weighted_f1).abs() < 0.1,
+        "L+M F1 {:.2} and T+M F1 {:.2} should be comparable",
+        lm.weighted_f1,
+        tm.weighted_f1
+    );
+}
+
+#[test]
+fn classification_scores_reach_paper_band() {
+    // Table 7: with mobility features the weighted-F1 is consistently high
+    // (paper ≥0.89 at full campaign scale; require ≥0.8 at test scale).
+    let data = airport_data(106);
+    let out = classification_eval(&data, FeatureSet::LM, &ModelKind::Gdbt(quick_gbdt()), 1)
+        .unwrap();
+    assert!(out.weighted_f1 > 0.8, "weighted F1 = {:.2}", out.weighted_f1);
+    assert!(out.low_recall > 0.7, "low recall = {:.2}", out.low_recall);
+}
+
+#[test]
+fn pipeline_then_model_is_reproducible() {
+    // Identical seeds must give bit-identical metrics end-to-end.
+    let a = airport_data(107);
+    let b = airport_data(107);
+    assert_eq!(a.len(), b.len());
+    let m = ModelKind::Gdbt(quick_gbdt());
+    let ra = regression_eval(&a, FeatureSet::LM, &m, 5).unwrap();
+    let rb = regression_eval(&b, FeatureSet::LM, &m, 5).unwrap();
+    assert_eq!(ra.mae, rb.mae);
+    assert_eq!(ra.rmse, rb.rmse);
+}
+
+#[test]
+fn csv_roundtrip_preserves_model_input() {
+    // The public-dataset export must carry everything the models need.
+    let data = airport_data(108);
+    let csv = data.to_csv();
+    let back = lumos5g_sim::Dataset::from_csv(&csv).unwrap();
+    assert_eq!(back.len(), data.len());
+    let m = ModelKind::Gdbt(quick_gbdt());
+    let orig = regression_eval(&data, FeatureSet::TM, &m, 3).unwrap();
+    let roundtrip = regression_eval(&back, FeatureSet::TM, &m, 3).unwrap();
+    // CSV rounds floats, which can flip individual tree splits; the trained
+    // model's quality must still agree closely.
+    assert!(
+        (orig.mae - roundtrip.mae).abs() < 0.1 * orig.mae,
+        "orig {:.1} vs roundtrip {:.1}",
+        orig.mae,
+        roundtrip.mae
+    );
+    assert_eq!(orig.n_test, roundtrip.n_test);
+}

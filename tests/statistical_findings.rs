@@ -1,0 +1,212 @@
+//! Integration tests for the §4 statistical findings: the simulated
+//! substrate must reproduce the paper's measurement phenomenology, not just
+//! allow models to train.
+
+use lumos5g_geo::GridIndex;
+use lumos5g_sim::{airport, loop_area, quality, run_campaign, CampaignConfig, Dataset, MobilityMode};
+use lumos5g_stats as stats;
+use lumos5g_stats::htest;
+
+fn campaign(seed: u64, mode: MobilityMode, passes: usize) -> (Dataset, lumos5g_sim::Area) {
+    let area = airport(seed);
+    let cfg = CampaignConfig {
+        passes_per_trajectory: passes,
+        mode,
+        max_duration_s: 400,
+        base_seed: seed,
+        bad_gps_fraction: 0.0,
+        ..Default::default()
+    };
+    let raw = run_campaign(&area, &cfg);
+    let (d, _) = quality::apply(&raw, &area.frame, &Default::default());
+    (d, area)
+}
+
+#[test]
+fn most_cell_pairs_differ_significantly() {
+    // Table 5: ~70% of geolocation pairs have significantly different mean
+    // throughput — location carries signal.
+    let (data, _) = campaign(201, MobilityMode::walking(), 8);
+    let groups: Vec<Vec<f64>> = data
+        .throughput_by_cell(&GridIndex::paper_map_grid())
+        .into_values()
+        .filter(|v| v.len() >= 8)
+        .collect();
+    assert!(groups.len() > 50, "need enough cells, got {}", groups.len());
+    let mut sig = 0;
+    let mut total = 0;
+    for i in 0..groups.len().min(80) {
+        for j in (i + 1)..groups.len().min(80) {
+            if let Ok(r) = htest::welch_t_test(&groups[i], &groups[j]) {
+                total += 1;
+                if r.p_value < 0.1 {
+                    sig += 1;
+                }
+            }
+        }
+    }
+    let frac = sig as f64 / total as f64;
+    assert!(
+        (0.5..0.95).contains(&frac),
+        "significant-pair fraction {frac:.2} outside the paper's band"
+    );
+}
+
+#[test]
+fn same_location_still_varies_substantially() {
+    // §4.1: ~half the cells have CV ≥ 50% — location alone cannot predict.
+    let (data, _) = campaign(202, MobilityMode::walking(), 8);
+    let groups: Vec<Vec<f64>> = data
+        .throughput_by_cell(&GridIndex::paper_map_grid())
+        .into_values()
+        .filter(|v| v.len() >= 10)
+        .collect();
+    let cvs: Vec<f64> = groups
+        .iter()
+        .filter_map(|g| stats::coefficient_of_variation(g).ok())
+        .collect();
+    let high = cvs.iter().filter(|&&c| c >= 0.5).count() as f64 / cvs.len() as f64;
+    assert!(
+        (0.15..0.8).contains(&high),
+        "fraction of high-CV cells {high:.2} implausible"
+    );
+}
+
+#[test]
+fn direction_conditioning_raises_trace_correlation() {
+    // §4.2 / Fig 10: same-direction traces correlate strongly; opposite
+    // directions do not.
+    let (data, _) = campaign(203, MobilityMode::walking(), 8);
+    let traces = data.traces();
+    let nb: Vec<&Vec<f64>> = traces.iter().filter(|((t, _), _)| *t == 0).map(|(_, v)| v).collect();
+    let sb: Vec<&Vec<f64>> = traces.iter().filter(|((t, _), _)| *t == 1).map(|(_, v)| v).collect();
+
+    let resample = |tr: &[f64]| -> Vec<f64> {
+        (0..100)
+            .map(|i| tr[i * (tr.len() - 1) / 99])
+            .collect()
+    };
+    let mut same = Vec::new();
+    for i in 0..nb.len() {
+        for j in (i + 1)..nb.len() {
+            same.push(stats::spearman(&resample(nb[i]), &resample(nb[j])).unwrap().rho);
+        }
+    }
+    let mut cross = Vec::new();
+    for a in &nb {
+        for b in &sb {
+            cross.push(stats::spearman(&resample(a), &resample(b)).unwrap().rho);
+        }
+    }
+    let same_mean = same.iter().sum::<f64>() / same.len() as f64;
+    let cross_mean = cross.iter().sum::<f64>() / cross.len() as f64;
+    assert!(
+        same_mean > cross_mean + 0.3,
+        "same-direction ρ {same_mean:.2} should dominate cross ρ {cross_mean:.2}"
+    );
+    assert!(same_mean > 0.5, "same-direction ρ {same_mean:.2} too low");
+    assert!(cross_mean.abs() < 0.35, "cross-direction ρ {cross_mean:.2} too high");
+}
+
+#[test]
+fn driving_fast_degrades_throughput_but_walking_does_not() {
+    // §4.6 / Fig 14: median throughput collapses beyond ~5 km/h when
+    // driving; walking speed has no comparable effect.
+    let area = loop_area(204);
+    let mk = |mode: MobilityMode| {
+        let cfg = CampaignConfig {
+            passes_per_trajectory: 3,
+            mode,
+            max_duration_s: 1100,
+            base_seed: 204,
+            bad_gps_fraction: 0.0,
+            ..Default::default()
+        };
+        let raw = run_campaign(&area, &cfg);
+        quality::apply(&raw, &area.frame, &Default::default()).0
+    };
+    let drive = mk(MobilityMode::driving());
+    let walk = mk(MobilityMode::walking());
+
+    let med = |d: &Dataset, lo_kmh: f64, hi_kmh: f64| -> f64 {
+        let v: Vec<f64> = d
+            .records
+            .iter()
+            .filter(|r| {
+                let kmh = r.true_speed_mps * 3.6;
+                kmh >= lo_kmh && kmh < hi_kmh
+            })
+            .map(|r| r.throughput_mbps)
+            .collect();
+        stats::median(&v).unwrap_or(f64::NAN)
+    };
+    let drive_slow = med(&drive, 0.0, 5.0);
+    let drive_fast = med(&drive, 25.0, 45.0);
+    assert!(
+        drive_fast < 0.5 * drive_slow,
+        "fast driving {drive_fast:.0} should be well below slow {drive_slow:.0}"
+    );
+    // Paper: fast driving falls to 4G-like 60–164 Mbps.
+    assert!(drive_fast < 350.0, "fast driving median {drive_fast:.0} too high");
+
+    // Free-flow walking bins (slower bins are dominated by the few seconds
+    // of accel/decel next to stop points, a location artifact).
+    let walk_slow = med(&walk, 4.0, 5.5);
+    let walk_fast = med(&walk, 5.5, 8.0);
+    assert!(
+        walk_fast > 0.6 * walk_slow && walk_fast < 1.8 * walk_slow,
+        "walking throughput should be flat in speed: slow {walk_slow:.0} fast {walk_fast:.0}"
+    );
+}
+
+#[test]
+fn handoff_patches_exist_and_cause_dips() {
+    // Fig 9's cyan patches: seconds around a handoff have lower throughput
+    // than steady-state seconds.
+    let (data, _) = campaign(205, MobilityMode::walking(), 6);
+    let ho: Vec<f64> = data
+        .records
+        .iter()
+        .filter(|r| r.horizontal_handoff || r.vertical_handoff)
+        .map(|r| r.throughput_mbps)
+        .collect();
+    let steady: Vec<f64> = data
+        .records
+        .iter()
+        .filter(|r| !r.horizontal_handoff && !r.vertical_handoff)
+        .map(|r| r.throughput_mbps)
+        .collect();
+    assert!(ho.len() > 20, "need handoffs, got {}", ho.len());
+    let m_ho = stats::mean(&ho).unwrap();
+    let m_st = stats::mean(&steady).unwrap();
+    assert!(
+        m_ho < m_st,
+        "handoff seconds ({m_ho:.0}) should underperform steady seconds ({m_st:.0})"
+    );
+}
+
+#[test]
+fn five_g_dead_zones_fall_back_to_lte() {
+    // §1: 5G "dead zones" exist; in them the UE is on LTE with 4G-like
+    // throughput.
+    let area = loop_area(206);
+    let cfg = CampaignConfig {
+        passes_per_trajectory: 2,
+        mode: MobilityMode::walking(),
+        max_duration_s: 1100,
+        base_seed: 206,
+        bad_gps_fraction: 0.0,
+        ..Default::default()
+    };
+    let raw = run_campaign(&area, &cfg);
+    let (data, _) = quality::apply(&raw, &area.frame, &Default::default());
+    let lte: Vec<&lumos5g_sim::Record> = data.records.iter().filter(|r| !r.on_5g).collect();
+    assert!(
+        lte.len() > data.len() / 50,
+        "the park edge should force LTE fallback ({} of {})",
+        lte.len(),
+        data.len()
+    );
+    let m: f64 = lte.iter().map(|r| r.throughput_mbps).sum::<f64>() / lte.len() as f64;
+    assert!(m < 300.0, "LTE throughput should be 4G-like, got {m:.0}");
+}
