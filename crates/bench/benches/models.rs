@@ -74,7 +74,10 @@ fn bench_kriging(c: &mut Criterion) {
     let pts: Vec<[f64; 2]> = (0..400)
         .map(|i| [(i % 20) as f64 * 5.0, (i / 20) as f64 * 5.0])
         .collect();
-    let vals: Vec<f64> = pts.iter().map(|p| (p[0] / 17.0).sin() * 500.0 + 700.0).collect();
+    let vals: Vec<f64> = pts
+        .iter()
+        .map(|p| (p[0] / 17.0).sin() * 500.0 + 700.0)
+        .collect();
     c.bench_function("kriging_fit_400_points", |b| {
         b.iter(|| OrdinaryKriging::fit(black_box(&pts), black_box(&vals), 16))
     });

@@ -54,9 +54,10 @@ fn bench_features(c: &mut Criterion) {
     let (data, _) = quality::apply(&raw, &area.frame, &Default::default());
     for set in [FeatureSet::L, FeatureSet::TM, FeatureSet::TMC] {
         let spec = FeatureSpec::new(set);
-        c.bench_function(&format!("build_tabular_{}", set.label().replace('+', "")), |b| {
-            b.iter(|| build_tabular(black_box(&data), &spec))
-        });
+        c.bench_function(
+            &format!("build_tabular_{}", set.label().replace('+', "")),
+            |b| b.iter(|| build_tabular(black_box(&data), &spec)),
+        );
     }
 }
 

@@ -1,0 +1,96 @@
+//! Criterion benchmarks of the serving hot path: per-record session
+//! update + feature extraction + single-row prediction, and the full
+//! sharded engine closed loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lumos5g::{quick_gbdt, FeatureSet, Lumos5G, ModelKind, TrainedRegressor};
+use lumos5g_serve::{Engine, EngineConfig, OverloadPolicy, ReplaySource, Session};
+use lumos5g_sim::{airport, quality, run_campaign, CampaignConfig, Dataset};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+fn campaign() -> Dataset {
+    let area = airport(7);
+    let cfg = CampaignConfig {
+        passes_per_trajectory: 2,
+        max_duration_s: 150,
+        base_seed: 7,
+        bad_gps_fraction: 0.0,
+        ..Default::default()
+    };
+    let raw = run_campaign(&area, &cfg);
+    quality::apply(&raw, &area.frame, &Default::default()).0
+}
+
+fn train(data: &Dataset, set: FeatureSet) -> TrainedRegressor {
+    Lumos5G::new(set, ModelKind::Gdbt(quick_gbdt()))
+        .fit_regression(data)
+        .unwrap()
+}
+
+fn bench_hot_path(c: &mut Criterion) {
+    let data = campaign();
+    let model = train(&data, FeatureSet::LMC);
+    let spec = *model.spec().unwrap();
+    let records: Vec<_> = data.records.iter().take(256).cloned().collect();
+
+    c.bench_function("serve_session_update_extract_predict", |b| {
+        let mut session = Session::new(spec.required_window());
+        let mut i = 0;
+        b.iter(|| {
+            session.push(records[i % records.len()].clone());
+            i += 1;
+            let y = spec
+                .extract_latest(session.window())
+                .and_then(|x| model.predict_one(&x));
+            black_box(y)
+        })
+    });
+
+    let lm = train(&data, FeatureSet::LM);
+    let lm_spec = *lm.spec().unwrap();
+    let x = lm_spec.extract(&records, 0).unwrap();
+    c.bench_function("serve_predict_one_gdbt_lm", |b| {
+        b.iter(|| black_box(lm.predict_one(black_box(&x))))
+    });
+}
+
+fn bench_engine_closed_loop(c: &mut Criterion) {
+    let data = campaign();
+    let src = ReplaySource::from_dataset(&data, 16);
+    let events = src.len() as u64;
+    let model = train(&data, FeatureSet::LM);
+    c.bench_function("serve_engine_4_shards_full_replay", |b| {
+        b.iter(|| {
+            let engine = Engine::start(
+                model.clone(),
+                EngineConfig {
+                    shards: 4,
+                    queue_capacity: 1024,
+                    policy: OverloadPolicy::Block,
+                },
+            );
+            let rx = engine.responses().clone();
+            let consumer = std::thread::spawn(move || rx.iter().count() as u64);
+            src.run(&engine, 0.0);
+            let (report, responses) = engine.shutdown();
+            drop(responses);
+            assert_eq!(consumer.join().unwrap(), events);
+            black_box(report)
+        })
+    });
+}
+
+criterion_group! {
+    name = serving;
+    config = quick();
+    targets = bench_hot_path, bench_engine_closed_loop
+}
+criterion_main!(serving);

@@ -2,7 +2,9 @@
 //! thousands of times in the §4 pairwise analyses, so their cost matters.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use lumos5g_stats::htest::{anderson_darling_normality, dagostino_pearson, levene_test, welch_t_test, LeveneCenter};
+use lumos5g_stats::htest::{
+    anderson_darling_normality, dagostino_pearson, levene_test, welch_t_test, LeveneCenter,
+};
 use lumos5g_stats::{spearman, Ecdf};
 use std::hint::black_box;
 use std::time::Duration;
@@ -21,7 +23,9 @@ fn samples(n: usize, seed: u64) -> Vec<f64> {
     let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 * 100.0
         })
         .collect()

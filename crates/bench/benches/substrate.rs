@@ -51,9 +51,7 @@ fn bench_tcp(c: &mut Criterion) {
 
 fn bench_geo(c: &mut Criterion) {
     let p = LatLon::new(44.9778, -93.2650);
-    c.bench_function("pixelize_zoom17", |b| {
-        b.iter(|| black_box(p).to_pixel(17))
-    });
+    c.bench_function("pixelize_zoom17", |b| b.iter(|| black_box(p).to_pixel(17)));
     let pose = PanelPose::new(Point2::new(0.0, 60.0), 0.0);
     c.bench_function("theta_p_theta_m", |b| {
         b.iter(|| {

@@ -13,33 +13,109 @@ use lumos5g_bench::experiments::{ablate, context::Context, context::Scale, impac
 type Runner = fn(&mut Context) -> String;
 
 const EXPERIMENTS: &[(&str, &str, Runner)] = &[
-    ("table4", "Tables 4 & 10: factor analysis (CV/normality/Spearman/KNN/RF)", impact::table4),
-    ("table5", "Table 5: pairwise t-test / Levene across geolocations", impact::table5),
-    ("fig6", "Fig 6: indoor/outdoor throughput maps", impact::fig6),
+    (
+        "table4",
+        "Tables 4 & 10: factor analysis (CV/normality/Spearman/KNN/RF)",
+        impact::table4,
+    ),
+    (
+        "table5",
+        "Table 5: pairwise t-test / Levene across geolocations",
+        impact::table5,
+    ),
+    (
+        "fig6",
+        "Fig 6: indoor/outdoor throughput maps",
+        impact::fig6,
+    ),
     ("fig7", "Fig 7: p-value and CV CDFs", impact::fig7),
-    ("fig8", "Fig 8: throughput by mobility angle θm", impact::fig8),
+    (
+        "fig8",
+        "Fig 8: throughput by mobility angle θm",
+        impact::fig8,
+    ),
     ("fig9", "Fig 9: NB vs SB maps", impact::fig9),
-    ("fig10", "Fig 10: Spearman by direction grouping", impact::fig10),
-    ("fig11", "Fig 11: throughput vs UE-panel distance", impact::fig11),
-    ("fig13", "Fig 13: positional sector × distance", impact::fig13),
-    ("fig14", "Fig 14: throughput vs speed, walk vs drive", impact::fig14),
-    ("fig16", "Fig 16: sample regression traces ±200 Mbps", mlres::fig16),
+    (
+        "fig10",
+        "Fig 10: Spearman by direction grouping",
+        impact::fig10,
+    ),
+    (
+        "fig11",
+        "Fig 11: throughput vs UE-panel distance",
+        impact::fig11,
+    ),
+    (
+        "fig13",
+        "Fig 13: positional sector × distance",
+        impact::fig13,
+    ),
+    (
+        "fig14",
+        "Fig 14: throughput vs speed, walk vs drive",
+        impact::fig14,
+    ),
+    (
+        "fig16",
+        "Fig 16: sample regression traces ±200 Mbps",
+        mlres::fig16,
+    ),
     ("fig17", "Fig 17: extended normality/Levene", impact::fig17),
     ("fig18", "Fig 18: θm per panel", impact::fig18),
-    ("fig19", "Figs 19-20: direction conditioning deltas", impact::fig19_20),
-    ("fig21", "Fig 21: staggered multi-UE congestion", impact::fig21),
+    (
+        "fig19",
+        "Figs 19-20: direction conditioning deltas",
+        impact::fig19_20,
+    ),
+    (
+        "fig21",
+        "Fig 21: staggered multi-UE congestion",
+        impact::fig21,
+    ),
     ("fig22", "Fig 22: GDBT feature importance", mlres::fig22),
-    ("fig23", "Fig 23: per-area baseline comparison", mlres::fig23),
+    (
+        "fig23",
+        "Fig 23: per-area baseline comparison",
+        mlres::fig23,
+    ),
     ("table7", "Table 7: classification results", mlres::table7),
     ("table8", "Table 8: regression results", mlres::table8),
-    ("table9", "Table 9: Global baseline comparison", mlres::table9),
-    ("transfer", "§6.2: cross-panel transferability", mlres::transfer),
+    (
+        "table9",
+        "Table 9: Global baseline comparison",
+        mlres::table9,
+    ),
+    (
+        "transfer",
+        "§6.2: cross-panel transferability",
+        mlres::transfer,
+    ),
     ("a4", "App A.4: 4G vs 5G predictability", mlres::a4),
-    ("horizon", "Extension: Seq2Seq multi-step horizon MAE", mlres::horizon),
-    ("mapmodel", "Extension: throughput-map-as-a-model vs GDBT", mlres::map_model),
-    ("sensitivity", "Extension (§8.1): model sensitivity to sensor noise", mlres::sensitivity),
-    ("temporal", "Extension (§8.1): temporal generalizability", mlres::temporal),
-    ("ablate", "Ablations: TCP conns, pixelization, GDBT size, history, hysteresis", ablate::all),
+    (
+        "horizon",
+        "Extension: Seq2Seq multi-step horizon MAE",
+        mlres::horizon,
+    ),
+    (
+        "mapmodel",
+        "Extension: throughput-map-as-a-model vs GDBT",
+        mlres::map_model,
+    ),
+    (
+        "sensitivity",
+        "Extension (§8.1): model sensitivity to sensor noise",
+        mlres::sensitivity,
+    ),
+    (
+        "temporal",
+        "Extension (§8.1): temporal generalizability",
+        mlres::temporal,
+    ),
+    (
+        "ablate",
+        "Ablations: TCP conns, pixelization, GDBT size, history, hysteresis",
+        ablate::all,
+    ),
 ];
 
 fn usage() -> ! {
@@ -93,7 +169,10 @@ fn main() {
             let started = std::time::Instant::now();
             let output = runner(&mut ctx);
             println!("{output}");
-            eprintln!("--- {name} done in {:.1}s\n", started.elapsed().as_secs_f64());
+            eprintln!(
+                "--- {name} done in {:.1}s\n",
+                started.elapsed().as_secs_f64()
+            );
             ran += 1;
         }
     }

@@ -1,0 +1,220 @@
+//! Closed-loop load benchmark of the sharded serving engine.
+//!
+//! ```text
+//! cargo run --release -p lumos5g-bench --bin serve_bench -- \
+//!     [--shards N] [--ues N] [--rounds N] [--seed N] [--quick]
+//! ```
+//!
+//! Simulates a campaign, trains a GDBT (L+M) regressor, replays the
+//! campaign as a multi-UE 1 Hz stream at maximum speed through the engine,
+//! and reports sustained predictions/sec plus end-to-end tail latency.
+//! Results are printed and saved to `results/serving.csv` /
+//! `results/serving_shards.csv`.
+
+use lumos5g::{quick_gbdt, FeatureSet, Lumos5G, ModelKind};
+use lumos5g_bench::TableWriter;
+use lumos5g_serve::{Engine, EngineConfig, OverloadPolicy, ReplaySource};
+use lumos5g_sim::{airport, quality, run_campaign, CampaignConfig};
+use std::path::Path;
+use std::time::Instant;
+
+struct Args {
+    shards: usize,
+    ues: usize,
+    rounds: usize,
+    seed: u64,
+    quick: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        shards: 4,
+        ues: 64,
+        rounds: 8,
+        seed: 42,
+        quick: false,
+    };
+    fn numeric(argv: &[String], i: usize, name: &str) -> u64 {
+        argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{name} needs a numeric value");
+            eprintln!(
+                "usage: serve_bench [--shards N] [--ues N] [--rounds N] [--seed N] [--quick]"
+            );
+            std::process::exit(2);
+        })
+    }
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--shards" => {
+                i += 1;
+                args.shards = numeric(&argv, i, "--shards") as usize;
+            }
+            "--ues" => {
+                i += 1;
+                args.ues = numeric(&argv, i, "--ues") as usize;
+            }
+            "--rounds" => {
+                i += 1;
+                args.rounds = numeric(&argv, i, "--rounds") as usize;
+            }
+            "--seed" => {
+                i += 1;
+                args.seed = numeric(&argv, i, "--seed");
+            }
+            "--quick" => args.quick = true,
+            other => {
+                eprintln!("unknown argument {other}");
+                eprintln!(
+                    "usage: serve_bench [--shards N] [--ues N] [--rounds N] [--seed N] [--quick]"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    // The engine clamps to >= 1 shard; mirror that here so the report
+    // shows the effective configuration.
+    args.shards = args.shards.max(1);
+    args.ues = args.ues.max(1);
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let (passes, duration, rounds) = if args.quick {
+        (2, 120, 2.min(args.rounds))
+    } else {
+        (4, 300, args.rounds)
+    };
+
+    eprintln!("simulating campaign (airport, {passes} passes/trajectory)...");
+    let area = airport(args.seed);
+    let cfg = CampaignConfig {
+        passes_per_trajectory: passes,
+        max_duration_s: duration,
+        base_seed: args.seed,
+        bad_gps_fraction: 0.0,
+        ..Default::default()
+    };
+    let raw = run_campaign(&area, &cfg);
+    let (data, _) = quality::apply(&raw, &area.frame, &Default::default());
+
+    eprintln!("training GDBT (L+M) on {} records...", data.len());
+    let model = Lumos5G::new(FeatureSet::LM, ModelKind::Gdbt(quick_gbdt()))
+        .fit_regression(&data)
+        .expect("training failed");
+
+    let src = ReplaySource::from_dataset(&data, args.ues);
+    eprintln!(
+        "replaying {} events x {} rounds over {} UEs into {} shards...",
+        src.len(),
+        rounds,
+        src.ues(),
+        args.shards
+    );
+
+    let engine = Engine::start(
+        model,
+        EngineConfig {
+            shards: args.shards,
+            queue_capacity: 1024,
+            policy: OverloadPolicy::Block,
+        },
+    );
+    // Closed loop: drain responses concurrently so the engine never stalls
+    // on its (unbounded) output.
+    let rx = engine.responses().clone();
+    let consumer = std::thread::spawn(move || {
+        let mut n = 0u64;
+        while rx.recv().is_ok() {
+            n += 1;
+        }
+        n
+    });
+
+    let start = Instant::now();
+    let mut submitted = 0u64;
+    for _ in 0..rounds {
+        let stats = src.run(&engine, 0.0);
+        submitted += stats.submitted;
+    }
+    let (report, responses) = engine.shutdown();
+    drop(responses);
+    let consumed = consumer.join().unwrap();
+    let wall = start.elapsed();
+
+    assert_eq!(report.processed, submitted, "engine dropped records");
+    assert_eq!(consumed, submitted, "responses were lost");
+    let preds_per_sec = report.processed as f64 / wall.as_secs_f64();
+
+    let us = |ns: u64| format!("{:.1}", ns as f64 / 1000.0);
+    let mut shard_table = TableWriter::new(
+        "Serving engine: per-shard breakdown",
+        &[
+            "shard",
+            "processed",
+            "predictions",
+            "warmups",
+            "resets",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+        ],
+    );
+    for s in &report.shards {
+        shard_table.row(&[
+            s.shard.to_string(),
+            s.processed.to_string(),
+            s.predictions.to_string(),
+            s.warmups.to_string(),
+            s.resets.to_string(),
+            us(s.p50_ns),
+            us(s.p95_ns),
+            us(s.p99_ns),
+        ]);
+    }
+    shard_table.print();
+
+    let mut summary = TableWriter::new(
+        "Serving engine: sustained closed-loop throughput (GDBT L+M)",
+        &[
+            "shards",
+            "ues",
+            "records",
+            "preds_per_sec",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+            "online_mae_mbps",
+        ],
+    );
+    summary.row(&[
+        args.shards.to_string(),
+        args.ues.to_string(),
+        report.processed.to_string(),
+        format!("{preds_per_sec:.0}"),
+        us(report.p50_ns),
+        us(report.p95_ns),
+        us(report.p99_ns),
+        report
+            .mae_mbps
+            .map(|m| format!("{m:.1}"))
+            .unwrap_or_else(|| "-".into()),
+    ]);
+    summary.print();
+
+    summary
+        .save_csv(Path::new("results/serving.csv"))
+        .expect("write results/serving.csv");
+    shard_table
+        .save_csv(Path::new("results/serving_shards.csv"))
+        .expect("write results/serving_shards.csv");
+    eprintln!("saved results/serving.csv and results/serving_shards.csv");
+
+    if preds_per_sec < 100_000.0 && !args.quick {
+        eprintln!("WARNING: below the 100k predictions/sec target ({preds_per_sec:.0}/s)");
+        std::process::exit(1);
+    }
+}

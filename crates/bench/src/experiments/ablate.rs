@@ -87,8 +87,7 @@ pub fn pixelization(ctx: &mut Context) -> String {
                 quality::apply(&raw, &area.frame, &qc).0
             }
         };
-        let out = regression_eval(&data, FeatureSet::L, &ModelKind::Gdbt(gbdt), 1)
-            .expect("eval");
+        let out = regression_eval(&data, FeatureSet::L, &ModelKind::Gdbt(gbdt), 1).expect("eval");
         t.row(&[
             label.into(),
             format!("{:.0}", out.mae),
@@ -205,9 +204,20 @@ pub fn early_stopping(ctx: &mut Context) -> String {
         format!("{mae_es:.0}"),
     ]);
     for n in [50usize, 200, 600] {
-        let m = GbdtRegressor::fit(&train.xs, &train.ys, &GbdtConfig { n_estimators: n, ..cfg });
+        let m = GbdtRegressor::fit(
+            &train.xs,
+            &train.ys,
+            &GbdtConfig {
+                n_estimators: n,
+                ..cfg
+            },
+        );
         let mae = lumos5g_ml::mae(&test.ys, &m.predict(&test.xs));
-        t.row(&[format!("fixed {n} rounds"), format!("{n}"), format!("{mae:.0}")]);
+        t.row(&[
+            format!("fixed {n} rounds"),
+            format!("{n}"),
+            format!("{mae:.0}"),
+        ]);
     }
     let _ = t.save_csv(&results_dir().join("ablate_early_stopping.csv"));
     format!(
@@ -249,7 +259,13 @@ pub fn hysteresis(ctx: &mut Context) -> String {
     let area = ctx.intersection_area();
     let mut t = TableWriter::new(
         "Ablation: handoff hysteresis vs handoff rate / throughput CV (Intersection)",
-        &["hysteresis (dB)", "horiz. HO / min", "vert. HO / min", "mean thpt", "CV %"],
+        &[
+            "hysteresis (dB)",
+            "horiz. HO / min",
+            "vert. HO / min",
+            "mean thpt",
+            "CV %",
+        ],
     );
     for hyst in [0.0f64, 1.5, 3.0, 6.0, 9.0] {
         let cfg = CampaignConfig {
@@ -285,12 +301,12 @@ pub fn hysteresis(ctx: &mut Context) -> String {
 /// Run every ablation.
 pub fn all(ctx: &mut Context) -> String {
     let mut out = String::new();
-    let _ = write!(out, "{}\n", tcp_conns(ctx));
-    let _ = write!(out, "{}\n", congestion_control(ctx));
-    let _ = write!(out, "{}\n", pixelization(ctx));
-    let _ = write!(out, "{}\n", gbdt_size(ctx));
-    let _ = write!(out, "{}\n", early_stopping(ctx));
-    let _ = write!(out, "{}\n", seq2seq_history(ctx));
-    let _ = write!(out, "{}\n", hysteresis(ctx));
+    let _ = writeln!(out, "{}", tcp_conns(ctx));
+    let _ = writeln!(out, "{}", congestion_control(ctx));
+    let _ = writeln!(out, "{}", pixelization(ctx));
+    let _ = writeln!(out, "{}", gbdt_size(ctx));
+    let _ = writeln!(out, "{}", early_stopping(ctx));
+    let _ = writeln!(out, "{}", seq2seq_history(ctx));
+    let _ = writeln!(out, "{}", hysteresis(ctx));
     out
 }

@@ -165,9 +165,8 @@ impl Context {
 
     fn areas(&mut self) -> &(Area, Area, Area) {
         let seed = self.seed;
-        self.areas.get_or_insert_with(|| {
-            (intersection(seed), airport(seed), loop_area(seed))
-        })
+        self.areas
+            .get_or_insert_with(|| (intersection(seed), airport(seed), loop_area(seed)))
     }
 
     /// The Intersection area.
@@ -194,6 +193,7 @@ impl Context {
             bad_gps_fraction: 0.06,
             max_duration_s: 1200,
             handoff: Default::default(),
+            logger: Default::default(),
         };
         let raw = run_campaign(area, &cfg);
         quality::apply(&raw, &area.frame, &Default::default()).0
@@ -274,7 +274,11 @@ impl Context {
         let mut next_area_offset = 100_000u32;
         for mut part in [
             Some(self.airport_walk()),
-            if include_loop { Some(self.loop_all()) } else { None },
+            if include_loop {
+                Some(self.loop_all())
+            } else {
+                None
+            },
         ]
         .into_iter()
         .flatten()

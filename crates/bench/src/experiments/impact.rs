@@ -104,8 +104,7 @@ fn spearman_pairs(data: &Dataset, same_direction: bool, max_pairs: usize) -> (f6
     let mut rhos = Vec::new();
     'outer: for (a_idx, &ka) in keys.iter().enumerate() {
         for (b_off, &kb) in keys.iter().enumerate().skip(a_idx + 1) {
-            let diff =
-                lumos5g_geo::signed_delta_deg(headings[a_idx], headings[b_off]).abs();
+            let diff = lumos5g_geo::signed_delta_deg(headings[a_idx], headings[b_off]).abs();
             let matches = if same_direction {
                 diff < 45.0
             } else {
@@ -150,7 +149,7 @@ fn pairwise_fractions(groups: &[Vec<f64>], max_pairs: usize) -> (f64, f64, usize
     for i in 0..groups.len() {
         for j in (i + 1)..groups.len() {
             counter += 1;
-            if counter % stride != 0 {
+            if !counter.is_multiple_of(stride) {
                 continue;
             }
             if let Ok(r) = htest::welch_t_test(&groups[i], &groups[j]) {
@@ -183,8 +182,16 @@ fn pairwise_fractions(groups: &[Vec<f64>], max_pairs: usize) -> (f64, f64, usize
 pub fn table4(ctx: &mut Context) -> String {
     let mut out = String::new();
     for (label, data, file) in [
-        ("Airport (indoor) — Table 4", ctx.airport_walk(), "table4_airport.csv"),
-        ("Intersection (outdoor) — Table 10", ctx.intersection_walk(), "table10_intersection.csv"),
+        (
+            "Airport (indoor) — Table 4",
+            ctx.airport_walk(),
+            "table4_airport.csv",
+        ),
+        (
+            "Intersection (outdoor) — Table 10",
+            ctx.intersection_walk(),
+            "table10_intersection.csv",
+        ),
     ] {
         let plain = cell_groups(&data, 10);
         let dir = cell_dir_groups(&data, 10);
@@ -234,7 +241,7 @@ pub fn table4(ctx: &mut Context) -> String {
             format!("{:.0}", r_m_rf.rmse),
         ]);
         let _ = t.save_csv(&results_dir().join(file));
-        let _ = write!(out, "{}\n", t.render());
+        let _ = writeln!(out, "{}", t.render());
     }
     out
 }
@@ -271,7 +278,11 @@ pub fn table5(ctx: &mut Context) -> String {
 pub fn fig6(ctx: &mut Context) -> String {
     let mut out = String::new();
     for (label, data, file) in [
-        ("Fig 6a: Airport (indoor) throughput map", ctx.airport_walk(), "fig6_airport_map.csv"),
+        (
+            "Fig 6a: Airport (indoor) throughput map",
+            ctx.airport_walk(),
+            "fig6_airport_map.csv",
+        ),
         (
             "Fig 6b: Intersection (outdoor) throughput map",
             ctx.intersection_walk(),
@@ -337,10 +348,7 @@ pub fn fig7(ctx: &mut Context) -> String {
 
 /// Shared θm binning (Figs 8 and 18).
 fn theta_m_table(data: &Dataset, panel_filter: Option<u32>, title: &str, file: &str) -> String {
-    let mut t = TableWriter::new(
-        title,
-        &["theta_m bin", "n", "q1", "median", "q3", "mean"],
-    );
+    let mut t = TableWriter::new(title, &["theta_m bin", "n", "q1", "median", "q3", "mean"]);
     for bin in 0..12 {
         let lo = bin as f64 * 30.0;
         let hi = lo + 30.0;
@@ -482,7 +490,7 @@ pub fn fig11(ctx: &mut Context) -> String {
             ]);
         }
         let _ = t.save_csv(&results_dir().join(file));
-        let _ = write!(out, "{}\n", t.render());
+        let _ = writeln!(out, "{}", t.render());
     }
     out
 }
@@ -518,7 +526,11 @@ pub fn fig13(ctx: &mut Context) -> String {
                 .map(|r| r.throughput_mbps)
                 .collect();
             cells.push(if vals.len() >= 5 {
-                format!("{:.0} (n={})", stats::mean(&vals).expect("non-empty"), vals.len())
+                format!(
+                    "{:.0} (n={})",
+                    stats::mean(&vals).expect("non-empty"),
+                    vals.len()
+                )
             } else {
                 "-".into()
             });
@@ -569,11 +581,17 @@ pub fn fig14(ctx: &mut Context) -> String {
         ]);
     }
     let _ = t.save_csv(&results_dir().join("fig14a_driving.csv"));
-    let _ = write!(out, "{}\n", t.render());
+    let _ = writeln!(out, "{}", t.render());
 
     let mut t = TableWriter::new(
         "Fig 14b: walking vs driving — median throughput by speed (1 km/h bins)",
-        &["speed (km/h)", "walk n", "walk median", "drive n", "drive median"],
+        &[
+            "speed (km/h)",
+            "walk n",
+            "walk median",
+            "drive n",
+            "drive median",
+        ],
     );
     for bin in 0..8 {
         let lo = bin as f64;
@@ -607,7 +625,7 @@ pub fn fig14(ctx: &mut Context) -> String {
         ]);
     }
     let _ = t.save_csv(&results_dir().join("fig14b_walk_vs_drive.csv"));
-    let _ = write!(out, "{}\n", t.render());
+    let _ = writeln!(out, "{}", t.render());
     out
 }
 
@@ -640,7 +658,11 @@ pub fn fig19_20(ctx: &mut Context) -> String {
     let mut out = String::new();
     for (label, data, file) in [
         ("Fig 19: Airport", ctx.airport_walk(), "fig19_airport.csv"),
-        ("Fig 20: Intersection", ctx.intersection_walk(), "fig20_intersection.csv"),
+        (
+            "Fig 20: Intersection",
+            ctx.intersection_walk(),
+            "fig20_intersection.csv",
+        ),
     ] {
         let plain = cell_groups(&data, 10);
         let dir = cell_dir_groups(&data, 10);
@@ -668,7 +690,7 @@ pub fn fig19_20(ctx: &mut Context) -> String {
             format!("{:.1}%", t_dir * 100.0),
         ]);
         let _ = t.save_csv(&results_dir().join(file));
-        let _ = write!(out, "{}\n", t.render());
+        let _ = writeln!(out, "{}", t.render());
     }
     out
 }

@@ -4,10 +4,10 @@
 use super::context::Context;
 use super::results_dir;
 use crate::table::TableWriter;
-use lumos5g::prelude::*;
-use lumos5g::transfer::panel_transfer;
-use lumos5g::tabular::build_tabular;
 use lumos5g::features::FeatureSpec;
+use lumos5g::prelude::*;
+use lumos5g::tabular::build_tabular;
+use lumos5g::transfer::panel_transfer;
 use lumos5g_ml::dataset::TargetScaler;
 use lumos5g_ml::{train_test_split, GbdtRegressor, Seq2Seq, Seq2SeqConfig, StandardScaler};
 use lumos5g_sim::Dataset;
@@ -63,7 +63,10 @@ fn headline_table(ctx: &mut Context, which: Headline) -> String {
             "Table 7: classification (wF1|low-recall)",
             "table7_classification.csv",
         ),
-        Headline::Regression => ("Table 8: regression (MAE|RMSE, Mbps)", "table8_regression.csv"),
+        Headline::Regression => (
+            "Table 8: regression (MAE|RMSE, Mbps)",
+            "table8_regression.csv",
+        ),
     };
     let mut t = TableWriter::new(title, &hdr);
 
@@ -96,7 +99,11 @@ fn headline_table(ctx: &mut Context, which: Headline) -> String {
             }
         }
         let g = global_for(ctx, set);
-        let gkey = if set.needs_panels() { "global_t" } else { "global" };
+        let gkey = if set.needs_panels() {
+            "global_t"
+        } else {
+            "global"
+        };
         for model in [&gbdt, &s2s] {
             row.push(fmt(ctx.eval_cached(gkey, &g, set, model)));
         }
@@ -138,7 +145,11 @@ pub fn table9(ctx: &mut Context) -> String {
     );
     for set in TABLE_SETS {
         let g = global_for(ctx, set);
-        let gkey = if set.needs_panels() { "global_t" } else { "global" };
+        let gkey = if set.needs_panels() {
+            "global_t"
+        } else {
+            "global"
+        };
         let mut row_reg = vec![set.label().to_string()];
         let mut row_clf = vec![set.label().to_string()];
         for (name, model) in &models {
@@ -163,18 +174,18 @@ pub fn table9(ctx: &mut Context) -> String {
         t_clf.row(&row_clf);
     }
     let _ = t_reg.save_csv(&results_dir().join("table9_regression.csv"));
-    let _ = write!(out, "{}\n", t_reg.render());
+    let _ = writeln!(out, "{}", t_reg.render());
     let _ = t_clf.save_csv(&results_dir().join("table9_classification.csv"));
-    let _ = write!(out, "{}\n", t_clf.render());
+    let _ = writeln!(out, "{}", t_clf.render());
 
     // History-based Harmonic Mean (bottom block of Table 9).
     let g = ctx.global(true);
     let hm = ModelKind::HarmonicMean { window: 5 };
     let reg = regression_eval(&g, FeatureSet::L, &hm, 1).expect("hm eval");
     let clf = classification_eval(&g, FeatureSet::L, &hm, 1).expect("hm eval");
-    let _ = write!(
+    let _ = writeln!(
         out,
-        "Harmonic Mean (past throughput): MAE {:.0} | RMSE {:.0} | wF1 {:.2}\n",
+        "Harmonic Mean (past throughput): MAE {:.0} | RMSE {:.0} | wF1 {:.2}",
         reg.mae, reg.rmse, clf.weighted_f1
     );
     out
@@ -218,16 +229,20 @@ pub fn fig16(ctx: &mut Context) -> String {
 pub fn fig22(ctx: &mut Context) -> String {
     let mut out = String::new();
     let gbdt = ctx.scale.gbdt();
-    for set in [FeatureSet::L, FeatureSet::LM, FeatureSet::TM, FeatureSet::LMC, FeatureSet::TMC] {
+    for set in [
+        FeatureSet::L,
+        FeatureSet::LM,
+        FeatureSet::TM,
+        FeatureSet::LMC,
+        FeatureSet::TMC,
+    ] {
         let g = global_for(ctx, set);
         let spec = FeatureSpec::new(set);
         let td = build_tabular(&g, &spec);
         // Importance estimates stabilize long before the full dataset size;
         // cap training rows to keep the sweep fast.
         let cap = 20_000.min(td.len());
-        let idx: Vec<usize> = (0..cap)
-            .map(|k| k * td.len() / cap)
-            .collect();
+        let idx: Vec<usize> = (0..cap).map(|k| k * td.len() / cap).collect();
         let sub = td.select(&idx);
         let model = GbdtRegressor::fit(&sub.xs, &sub.ys, &gbdt);
         let imp: Vec<(String, f64)> = spec
@@ -248,7 +263,7 @@ pub fn fig22(ctx: &mut Context) -> String {
             "fig22_importance_{}.csv",
             set.label().replace('+', "")
         )));
-        let _ = write!(out, "{}\n", t.render());
+        let _ = writeln!(out, "{}", t.render());
     }
     out
 }
@@ -258,9 +273,17 @@ pub fn fig23(ctx: &mut Context) -> String {
     let gbdt = ModelKind::Gdbt(ctx.scale.gbdt());
     let s2s = ModelKind::Seq2Seq(ctx.scale.seq2seq());
     let models: Vec<(&str, FeatureSet, ModelKind)> = vec![
-        ("OK (L)", FeatureSet::L, ModelKind::Kriging { neighbors: 16 }),
+        (
+            "OK (L)",
+            FeatureSet::L,
+            ModelKind::Kriging { neighbors: 16 },
+        ),
         ("KNN (L)", FeatureSet::L, ModelKind::Knn { k: 5 }),
-        ("RF (L)", FeatureSet::L, ModelKind::RandomForest(Default::default())),
+        (
+            "RF (L)",
+            FeatureSet::L,
+            ModelKind::RandomForest(Default::default()),
+        ),
         ("GDBT (L+M)", FeatureSet::LM, gbdt.clone()),
         ("GDBT (L+M+C)", FeatureSet::LMC, gbdt),
         ("Seq2Seq (L+M)", FeatureSet::LM, s2s.clone()),
@@ -270,11 +293,7 @@ pub fn fig23(ctx: &mut Context) -> String {
         "Fig 23: weighted-F1 per area, Lumos5G vs baselines",
         &["model", "Intersection", "Airport", "Loop"],
     );
-    let datasets = [
-        ctx.intersection_walk(),
-        ctx.airport_walk(),
-        ctx.loop_all(),
-    ];
+    let datasets = [ctx.intersection_walk(), ctx.airport_walk(), ctx.loop_all()];
     let keys = ["4-way Intersection", "Airport", "1300m Loop"];
     for (name, set, model) in models {
         let mut row = vec![name.to_string()];
@@ -408,7 +427,12 @@ pub fn sensitivity(ctx: &mut Context) -> String {
     // features, so pixelization reacts to position noise realistically.
     let mut t = TableWriter::new(
         "Extension (§8.1): GDBT L+M MAE under inference-time sensor noise",
-        &["extra GPS σ (m)", "extra compass σ (°)", "MAE (Mbps)", "vs clean"],
+        &[
+            "extra GPS σ (m)",
+            "extra compass σ (°)",
+            "MAE (Mbps)",
+            "vs clean",
+        ],
     );
     let mut clean_mae = None;
     for (gps_sigma, compass_sigma) in [
@@ -421,7 +445,8 @@ pub fn sensitivity(ctx: &mut Context) -> String {
         (5.0, 15.0),
         (10.0, 45.0),
     ] {
-        let mut rng = StdRng::seed_from_u64(0xFEED ^ (gps_sigma as u64) << 8 ^ compass_sigma as u64);
+        let mut rng =
+            StdRng::seed_from_u64(0xFEED ^ (gps_sigma as u64) << 8 ^ compass_sigma as u64);
         let gauss = move |rng: &mut StdRng| -> f64 {
             let u1: f64 = rng.gen::<f64>().max(1e-300);
             let u2: f64 = rng.gen();
@@ -520,9 +545,21 @@ pub fn temporal(ctx: &mut Context) -> String {
         "Extension (§8.1): temporal generalizability of a GDBT L+M model (Airport)",
         &["test campaign", "MAE (Mbps)", "RMSE (Mbps)"],
     );
-    t.row(&["same campaign (in-sample)".into(), format!("{m_self:.0}"), format!("{r_self:.0}")]);
-    t.row(&["later campaign, same environment".into(), format!("{m_next:.0}"), format!("{r_next:.0}")]);
-    t.row(&["later campaign + seasonal foliage".into(), format!("{m_seas:.0}"), format!("{r_seas:.0}")]);
+    t.row(&[
+        "same campaign (in-sample)".into(),
+        format!("{m_self:.0}"),
+        format!("{r_self:.0}"),
+    ]);
+    t.row(&[
+        "later campaign, same environment".into(),
+        format!("{m_next:.0}"),
+        format!("{r_next:.0}"),
+    ]);
+    t.row(&[
+        "later campaign + seasonal foliage".into(),
+        format!("{m_seas:.0}"),
+        format!("{r_seas:.0}"),
+    ]);
     let _ = t.save_csv(&results_dir().join("temporal.csv"));
     t.render()
 }

@@ -47,8 +47,8 @@ impl TableWriter {
         let mut out = String::new();
         let _ = writeln!(out, "=== {} ===", self.title);
         let mut line = String::new();
-        for i in 0..ncol {
-            let _ = write!(line, "{:<w$}  ", self.header[i], w = widths[i]);
+        for (head, w) in self.header.iter().zip(widths.iter().copied()) {
+            let _ = write!(line, "{head:<w$}  ");
         }
         let _ = writeln!(out, "{}", line.trim_end());
         let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));

@@ -132,8 +132,7 @@ pub fn simulate_session(
     assert!(!throughput.is_empty(), "need a throughput trace");
     if let Predictor::Supplied(p) = predictor {
         assert!(
-            p.len() * cfg.segment_s as usize >= throughput.len().saturating_sub(1)
-                || !p.is_empty(),
+            p.len() * cfg.segment_s as usize >= throughput.len().saturating_sub(1) || !p.is_empty(),
             "supplied predictions must cover the session"
         );
     }
@@ -296,7 +295,10 @@ mod tests {
         };
         let hm = simulate_session(&trace, &Predictor::Harmonic { window: 5 }, &cfg);
         let oracle = simulate_session(&trace, &Predictor::Oracle, &cfg);
-        assert!(hm.rebuffer_ratio > oracle.rebuffer_ratio, "hm {hm:?} vs oracle {oracle:?}");
+        assert!(
+            hm.rebuffer_ratio > oracle.rebuffer_ratio,
+            "hm {hm:?} vs oracle {oracle:?}"
+        );
     }
 
     #[test]
@@ -346,7 +348,11 @@ mod tests {
     #[test]
     fn report_fields_are_consistent() {
         let trace = steady(800.0, 90);
-        let r = simulate_session(&trace, &Predictor::Harmonic { window: 5 }, &PlayerConfig::default());
+        let r = simulate_session(
+            &trace,
+            &Predictor::Harmonic { window: 5 },
+            &PlayerConfig::default(),
+        );
         assert!(r.segments > 0);
         assert!(r.avg_bitrate_mbps >= 20.0 && r.avg_bitrate_mbps <= 1_400.0);
         assert!(r.rebuffer_ratio >= 0.0 && r.rebuffer_ratio <= 1.0);

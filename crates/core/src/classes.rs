@@ -77,7 +77,11 @@ mod tests {
 
     #[test]
     fn index_roundtrip() {
-        for c in [ThroughputClass::Low, ThroughputClass::Medium, ThroughputClass::High] {
+        for c in [
+            ThroughputClass::Low,
+            ThroughputClass::Medium,
+            ThroughputClass::High,
+        ] {
             assert_eq!(ThroughputClass::from_index(c.index()), Some(c));
         }
         assert_eq!(ThroughputClass::from_index(3), None);

@@ -125,13 +125,18 @@ pub fn regression_eval(
                 ModelKind::Gdbt(cfg) => {
                     GbdtRegressor::fit(&train.xs, &train.ys, cfg).predict(&test.xs)
                 }
-                ModelKind::Knn { k } => KnnRegressor::fit(&train.xs, &train.ys, *k).predict(&test.xs),
+                ModelKind::Knn { k } => {
+                    KnnRegressor::fit(&train.xs, &train.ys, *k).predict(&test.xs)
+                }
                 ModelKind::RandomForest(cfg) => {
                     RandomForestRegressor::fit(&train.xs, &train.ys, cfg).predict(&test.xs)
                 }
                 ModelKind::Kriging { neighbors } => {
                     let ok = OrdinaryKriging::fit(&train.positions, &train.ys, *neighbors);
-                    test.positions.iter().map(|p| ok.predict(p[0], p[1])).collect()
+                    test.positions
+                        .iter()
+                        .map(|p| ok.predict(p[0], p[1]))
+                        .collect()
                 }
                 _ => unreachable!("handled above"),
             };
@@ -151,8 +156,14 @@ pub fn classification_eval(
     match model {
         ModelKind::Seq2Seq(p) => {
             let (truth, pred) = seq2seq_holdout(data, &spec, p, split_seed)?;
-            let t: Vec<usize> = truth.iter().map(|&y| ThroughputClass::of(y).index()).collect();
-            let q: Vec<usize> = pred.iter().map(|&y| ThroughputClass::of(y).index()).collect();
+            let t: Vec<usize> = truth
+                .iter()
+                .map(|&y| ThroughputClass::of(y).index())
+                .collect();
+            let q: Vec<usize> = pred
+                .iter()
+                .map(|&y| ThroughputClass::of(y).index())
+                .collect();
             Ok(clf_metrics(&t, &q))
         }
         ModelKind::HarmonicMean { window } => {
@@ -249,8 +260,14 @@ pub fn eval_both(
         ModelKind::Seq2Seq(p) => {
             let spec = FeatureSpec::new(set);
             let (truth, pred) = seq2seq_holdout(data, &spec, p, split_seed)?;
-            let t: Vec<usize> = truth.iter().map(|&y| ThroughputClass::of(y).index()).collect();
-            let q: Vec<usize> = pred.iter().map(|&y| ThroughputClass::of(y).index()).collect();
+            let t: Vec<usize> = truth
+                .iter()
+                .map(|&y| ThroughputClass::of(y).index())
+                .collect();
+            let q: Vec<usize> = pred
+                .iter()
+                .map(|&y| ThroughputClass::of(y).index())
+                .collect();
             Ok((reg_metrics(&truth, &pred), clf_metrics(&t, &q)))
         }
         ModelKind::HarmonicMean { .. } | ModelKind::Kriging { .. } => {
@@ -379,8 +396,8 @@ mod tests {
     #[test]
     fn kriging_only_sensible_on_l() {
         let d = data();
-        let out = regression_eval(&d, FeatureSet::L, &ModelKind::Kriging { neighbors: 12 }, 1)
-            .unwrap();
+        let out =
+            regression_eval(&d, FeatureSet::L, &ModelKind::Kriging { neighbors: 12 }, 1).unwrap();
         assert!(out.mae.is_finite());
     }
 

@@ -219,6 +219,31 @@ impl FeatureSpec {
         debug_assert_eq!(x.len(), self.dim());
         Some(x)
     }
+
+    /// Extract features for the newest record of a streaming session window.
+    ///
+    /// `window` is the per-UE sliding history a serving engine maintains
+    /// (oldest first, newest last). This is exactly
+    /// `extract(window, window.len() - 1)` — sharing the code path is what
+    /// guarantees online predictions are bit-identical to offline
+    /// evaluation over the same records.
+    pub fn extract_latest(&self, window: &[Record]) -> Option<Vec<f64>> {
+        if window.is_empty() {
+            return None;
+        }
+        self.extract(window, window.len() - 1)
+    }
+
+    /// The minimum window length a streaming session must retain so that
+    /// [`Self::extract_latest`] can succeed: the newest record plus the
+    /// `C`-group history when the set uses it.
+    pub fn required_window(&self) -> usize {
+        if self.set.needs_history() {
+            self.history_window + 1
+        } else {
+            1
+        }
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +337,26 @@ mod tests {
         assert_eq!(spec.feature_group_of(0), FeatureGroup::Tower);
         assert_eq!(spec.feature_group_of(5), FeatureGroup::Mobility);
         assert_eq!(spec.feature_group_of(8), FeatureGroup::Connection);
+    }
+
+    #[test]
+    fn extract_latest_matches_batch_extract() {
+        let spec = FeatureSpec::new(FeatureSet::LMC);
+        let recs: Vec<Record> = (0..10).map(|t| rec(t, 1, 100.0 + t as f64)).collect();
+        for i in spec.history_window..recs.len() {
+            let window = &recs[i + 1 - spec.required_window()..=i];
+            assert_eq!(spec.extract_latest(window), spec.extract(&recs, i));
+        }
+        assert_eq!(spec.extract_latest(&[]), None);
+        // Too-short window → history guard refuses.
+        assert_eq!(spec.extract_latest(&recs[..3]), spec.extract(&recs, 2));
+    }
+
+    #[test]
+    fn required_window_reflects_history_need() {
+        assert_eq!(FeatureSpec::new(FeatureSet::LM).required_window(), 1);
+        assert_eq!(FeatureSpec::new(FeatureSet::LMC).required_window(), 6);
+        assert_eq!(FeatureSpec::new(FeatureSet::TMC).required_window(), 6);
     }
 
     #[test]

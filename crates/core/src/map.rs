@@ -135,8 +135,10 @@ impl ThroughputMap {
                 match self.cells.get(&GridCell { i, j }) {
                     None => out.push('.'),
                     Some(s) => {
-                        out.push(char::from_digit(Self::color_bucket(s.mean) as u32, 10)
-                            .expect("bucket < 10"));
+                        out.push(
+                            char::from_digit(Self::color_bucket(s.mean) as u32, 10)
+                                .expect("bucket < 10"),
+                        );
                     }
                 }
             }
@@ -152,7 +154,8 @@ impl ThroughputMap {
         assert!(!maps.is_empty(), "need at least one map to merge");
         let cell = maps[0].grid.cell_size();
         assert!(
-            maps.iter().all(|m| (m.grid.cell_size() - cell).abs() < 1e-12),
+            maps.iter()
+                .all(|m| (m.grid.cell_size() - cell).abs() < 1e-12),
             "maps must share a grid size"
         );
         let mut cells: HashMap<GridCell, CellStats> = HashMap::new();
@@ -238,7 +241,11 @@ fn pool(a: CellStats, b: CellStats) -> CellStats {
     };
     let total_ss =
         ss(a) + ss(b) + a.n as f64 * (a.mean - mean).powi(2) + b.n as f64 * (b.mean - mean).powi(2);
-    let std = if n > 1 { (total_ss / (n - 1) as f64).sqrt() } else { 0.0 };
+    let std = if n > 1 {
+        (total_ss / (n - 1) as f64).sqrt()
+    } else {
+        0.0
+    };
     CellStats { n, mean, std }
 }
 
@@ -288,7 +295,9 @@ mod tests {
         let m = map_from_sim();
         let art = m.to_ascii();
         assert!(art.contains('\n'));
-        assert!(art.chars().all(|c| c == '.' || c == '\n' || c.is_ascii_digit()));
+        assert!(art
+            .chars()
+            .all(|c| c == '.' || c == '\n' || c.is_ascii_digit()));
     }
 
     #[test]
@@ -302,7 +311,9 @@ mod tests {
     fn query_finds_populated_cells() {
         let m = map_from_sim();
         // The corridor spine (x≈0, y≈100) should be covered.
-        let found = (80..240).step_by(2).any(|y| m.query(0.0, y as f64).is_some());
+        let found = (80..240)
+            .step_by(2)
+            .any(|y| m.query(0.0, y as f64).is_some());
         assert!(found);
     }
 
@@ -355,7 +366,12 @@ mod tests {
             let got = merged.query(center.x, center.y).expect("cell present");
             assert_eq!(got.n, want.n);
             assert!((got.mean - want.mean).abs() < 1e-9);
-            assert!((got.std - want.std).abs() < 1e-9, "{} vs {}", got.std, want.std);
+            assert!(
+                (got.std - want.std).abs() < 1e-9,
+                "{} vs {}",
+                got.std,
+                want.std
+            );
         }
     }
 

@@ -164,11 +164,9 @@ pub fn map_model_eval(
         return Err("need at least 4 passes".into());
     }
     let (tr, te) = lumos5g_ml::train_test_split(passes.len(), 0.7, split_seed);
-    let train_keys: std::collections::HashSet<(u32, u32)> =
-        tr.iter().map(|&i| passes[i]).collect();
+    let train_keys: std::collections::HashSet<(u32, u32)> = tr.iter().map(|&i| passes[i]).collect();
     let train = data.filter(|r| train_keys.contains(&(r.trajectory, r.pass_id)));
-    let test_keys: std::collections::HashSet<(u32, u32)> =
-        te.iter().map(|&i| passes[i]).collect();
+    let test_keys: std::collections::HashSet<(u32, u32)> = te.iter().map(|&i| passes[i]).collect();
     let test = data.filter(|r| test_keys.contains(&(r.trajectory, r.pass_id)));
     if train.is_empty() || test.is_empty() {
         return Err("degenerate pass split".into());

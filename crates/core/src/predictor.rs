@@ -14,9 +14,9 @@ use crate::tabular::{build_sequences, build_tabular};
 use lumos5g_ml::dataset::TargetScaler;
 use lumos5g_ml::forest::ForestConfig;
 use lumos5g_ml::{
-    GbdtClassifier, GbdtConfig, GbdtRegressor, HarmonicMeanPredictor, KnnClassifier,
-    KnnRegressor, OrdinaryKriging, RandomForestClassifier, RandomForestRegressor, Seq2Seq,
-    Seq2SeqConfig, StandardScaler,
+    GbdtClassifier, GbdtConfig, GbdtRegressor, HarmonicMeanPredictor, KnnClassifier, KnnRegressor,
+    OrdinaryKriging, RandomForestClassifier, RandomForestRegressor, Seq2Seq, Seq2SeqConfig,
+    StandardScaler,
 };
 use lumos5g_sim::Dataset;
 
@@ -215,9 +215,9 @@ impl Lumos5G {
                     spec: self.spec,
                 })
             }
-            ModelKind::HarmonicMean { window } => Ok(TrainedRegressor::Harmonic {
-                window: *window,
-            }),
+            ModelKind::HarmonicMean { window } => {
+                Ok(TrainedRegressor::Harmonic { window: *window })
+            }
         }
     }
 
@@ -354,7 +354,8 @@ impl TrainedRegressor {
                 params,
                 spec,
             } => {
-                let sd = build_sequences(data, spec, params.input_len, params.horizon, params.stride);
+                let sd =
+                    build_sequences(data, spec, params.input_len, params.horizon, params.stride);
                 let mut truth = Vec::with_capacity(sd.len());
                 let mut pred = Vec::with_capacity(sd.len());
                 for (input, target) in sd.inputs.iter().zip(&sd.targets) {
@@ -426,7 +427,44 @@ impl TrainedRegressor {
             _ => None,
         }
     }
+
+    /// The feature spec this model was trained with (`None` for the
+    /// feature-free harmonic-mean baseline).
+    pub fn spec(&self) -> Option<&FeatureSpec> {
+        match self {
+            TrainedRegressor::Gdbt { spec, .. }
+            | TrainedRegressor::Seq2Seq { spec, .. }
+            | TrainedRegressor::Knn { spec, .. }
+            | TrainedRegressor::RandomForest { spec, .. }
+            | TrainedRegressor::Kriging { spec, .. } => Some(spec),
+            TrainedRegressor::Harmonic { .. } => None,
+        }
+    }
+
+    /// Single-row prediction for the tabular families (GDBT / KNN / RF) —
+    /// the serving-engine hot path. Uses the same `predict_row` the batch
+    /// `eval` path reduces to, so an online prediction over a feature vector
+    /// built by [`FeatureSpec::extract_latest`] is bit-identical to the
+    /// offline one. Returns `None` for families that are not a function of
+    /// a single feature row (Seq2Seq, Kriging, HarmonicMean).
+    pub fn predict_one(&self, x: &[f64]) -> Option<f64> {
+        match self {
+            TrainedRegressor::Gdbt { model, .. } => Some(model.predict_row(x)),
+            TrainedRegressor::Knn { model, .. } => Some(model.predict_row(x)),
+            TrainedRegressor::RandomForest { model, .. } => Some(model.predict_row(x)),
+            _ => None,
+        }
+    }
 }
+
+// Serving shards share trained models across worker threads behind
+// `Arc<TrainedRegressor>`; a non-thread-safe field sneaking into any model
+// family must fail to compile, not panic at runtime.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TrainedRegressor>();
+    assert_send_sync::<TrainedClassifier>();
+};
 
 /// A trained classification model.
 #[derive(Debug, Clone)]
@@ -475,8 +513,13 @@ impl TrainedClassifier {
             TrainedClassifier::FromRegression(reg) => {
                 let (truth, pred) = reg.eval(data);
                 (
-                    truth.iter().map(|&y| ThroughputClass::of(y).index()).collect(),
-                    pred.iter().map(|&y| ThroughputClass::of(y).index()).collect(),
+                    truth
+                        .iter()
+                        .map(|&y| ThroughputClass::of(y).index())
+                        .collect(),
+                    pred.iter()
+                        .map(|&y| ThroughputClass::of(y).index())
+                        .collect(),
                 )
             }
         }
@@ -493,6 +536,19 @@ impl TrainedClassifier {
             ),
             TrainedClassifier::FromRegression(reg) => reg.feature_importance(),
             _ => None,
+        }
+    }
+
+    /// Single-row class prediction (serving hot path); `None` when the
+    /// underlying family has no single-row form.
+    pub fn predict_one(&self, x: &[f64]) -> Option<usize> {
+        match self {
+            TrainedClassifier::GdbtNative { model, .. } => Some(model.predict_row(x)),
+            TrainedClassifier::KnnNative { model, .. } => Some(model.predict_row(x)),
+            TrainedClassifier::RfNative { model, .. } => Some(model.predict_row(x)),
+            TrainedClassifier::FromRegression(reg) => {
+                reg.predict_one(x).map(|y| ThroughputClass::of(y).index())
+            }
         }
     }
 }
@@ -556,7 +612,9 @@ mod tests {
                 ..Default::default()
             }),
         ] {
-            let m = Lumos5G::new(FeatureSet::L, kind).fit_classification(&data).unwrap();
+            let m = Lumos5G::new(FeatureSet::L, kind)
+                .fit_classification(&data)
+                .unwrap();
             let (truth, pred) = m.eval(&data);
             assert_eq!(truth.len(), pred.len());
         }

@@ -75,7 +75,8 @@ pub fn build_tabular(data: &Dataset, spec: &FeatureSpec) -> TabularData {
                 out.xs.push(x);
                 out.ys.push(y);
                 out.labels.push(ThroughputClass::of(y).index());
-                out.positions.push([owned[i].snapped_x_m, owned[i].snapped_y_m]);
+                out.positions
+                    .push([owned[i].snapped_x_m, owned[i].snapped_y_m]);
             }
         }
     }
@@ -148,7 +149,9 @@ pub fn build_sequences(
                 if ok {
                     out.inputs.push(xs);
                     out.targets.push(
-                        (end_in..end_out).map(|i| owned[i].throughput_mbps).collect(),
+                        (end_in..end_out)
+                            .map(|i| owned[i].throughput_mbps)
+                            .collect(),
                     );
                 }
             }

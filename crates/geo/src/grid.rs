@@ -60,7 +60,7 @@ impl GridIndex {
     }
 
     /// Group `(position, value)` samples by cell.
-    pub fn group<'a, I>(&self, samples: I) -> HashMap<GridCell, Vec<f64>>
+    pub fn group<I>(&self, samples: I) -> HashMap<GridCell, Vec<f64>>
     where
         I: IntoIterator<Item = (Point2, f64)>,
     {
@@ -79,19 +79,28 @@ mod tests {
     #[test]
     fn points_in_same_cell_share_key() {
         let g = GridIndex::new(2.0);
-        assert_eq!(g.cell_of(Point2::new(0.1, 0.1)), g.cell_of(Point2::new(1.9, 1.9)));
+        assert_eq!(
+            g.cell_of(Point2::new(0.1, 0.1)),
+            g.cell_of(Point2::new(1.9, 1.9))
+        );
     }
 
     #[test]
     fn cell_boundaries_split() {
         let g = GridIndex::new(2.0);
-        assert_ne!(g.cell_of(Point2::new(1.9, 0.0)), g.cell_of(Point2::new(2.1, 0.0)));
+        assert_ne!(
+            g.cell_of(Point2::new(1.9, 0.0)),
+            g.cell_of(Point2::new(2.1, 0.0))
+        );
     }
 
     #[test]
     fn negative_coordinates_floor_correctly() {
         let g = GridIndex::new(2.0);
-        assert_eq!(g.cell_of(Point2::new(-0.1, -0.1)), GridCell { i: -1, j: -1 });
+        assert_eq!(
+            g.cell_of(Point2::new(-0.1, -0.1)),
+            GridCell { i: -1, j: -1 }
+        );
     }
 
     #[test]

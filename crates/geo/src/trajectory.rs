@@ -121,7 +121,11 @@ impl Polyline {
             out.push((s, self.point_at(s), self.heading_at(s)));
             s += step_m;
         }
-        out.push((self.length(), self.point_at(self.length()), self.heading_at(self.length())));
+        out.push((
+            self.length(),
+            self.point_at(self.length()),
+            self.heading_at(self.length()),
+        ));
         out
     }
 }

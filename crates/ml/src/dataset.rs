@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn split_is_seeded() {
         assert_eq!(train_test_split(50, 0.5, 7), train_test_split(50, 0.5, 7));
-        assert_ne!(train_test_split(50, 0.5, 7).0, train_test_split(50, 0.5, 8).0);
+        assert_ne!(
+            train_test_split(50, 0.5, 7).0,
+            train_test_split(50, 0.5, 8).0
+        );
     }
 
     #[test]

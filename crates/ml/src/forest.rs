@@ -54,7 +54,7 @@ impl RandomForestRegressor {
         assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
         assert!(!xs.is_empty(), "cannot fit forest on empty data");
         let d = xs[0].len();
-        let max_features = cfg.max_features.unwrap_or(((d + 2) / 3).max(1));
+        let max_features = cfg.max_features.unwrap_or(d.div_ceil(3).max(1));
         let tree_cfg = TreeConfig {
             max_depth: cfg.max_depth,
             min_samples_leaf: cfg.min_samples_leaf,

@@ -140,7 +140,14 @@ impl GbdtRegressor {
         assert_eq!(val_xs.len(), val_ys.len(), "validation length mismatch");
         assert!(!val_xs.is_empty(), "need validation data");
         assert!(patience >= 1, "patience must be at least 1");
-        let mut model = GbdtRegressor::fit(xs, ys, &GbdtConfig { n_estimators: 0, ..*cfg });
+        let mut model = GbdtRegressor::fit(
+            xs,
+            ys,
+            &GbdtConfig {
+                n_estimators: 0,
+                ..*cfg
+            },
+        );
         // Incremental boosting with monitoring.
         let n = xs.len();
         let mut pred = vec![model.base; n];
@@ -185,13 +192,7 @@ impl GbdtRegressor {
 
     /// Predict one row.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
-        self.base
-            + self.lr
-                * self
-                    .trees
-                    .iter()
-                    .map(|t| t.predict_row(row))
-                    .sum::<f64>()
+        self.base + self.lr * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
 
     /// Prediction after only the first `k` boosting rounds (staged
@@ -285,7 +286,10 @@ impl GbdtClassifier {
                     .zip(&probs)
                     .map(|(&i, p)| p[k] - if ys[i] == k { 1.0 } else { 0.0 })
                     .collect();
-                let h: Vec<f64> = probs.iter().map(|p| (p[k] * (1.0 - p[k])).max(1e-6)).collect();
+                let h: Vec<f64> = probs
+                    .iter()
+                    .map(|p| (p[k] * (1.0 - p[k])).max(1e-6))
+                    .collect();
                 let tree = RegressionTree::fit_gradients(&sub_xs, &g, &h, &tree_cfg, None);
                 for i in 0..n {
                     scores[i][k] += cfg.learning_rate * tree.predict_row(&xs[i]);
@@ -481,7 +485,11 @@ mod tests {
             seed: 1,
         };
         let (model, curve) = GbdtRegressor::fit_with_validation(&tx, &ty, &vx, &vy, &cfg, 10);
-        assert!(model.n_trees() < 200, "should stop early, got {}", model.n_trees());
+        assert!(
+            model.n_trees() < 200,
+            "should stop early, got {}",
+            model.n_trees()
+        );
         assert!(!curve.is_empty());
         // The retained model scores the best observed validation RMSE.
         let best = curve.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -492,7 +500,10 @@ mod tests {
             .sum::<f64>()
             / vy.len() as f64)
             .sqrt();
-        assert!((final_rmse - best).abs() < 1e-9, "{final_rmse} vs best {best}");
+        assert!(
+            (final_rmse - best).abs() < 1e-9,
+            "{final_rmse} vs best {best}"
+        );
     }
 
     #[test]

@@ -65,10 +65,7 @@ impl KdTree {
         assert!(!points.is_empty(), "cannot build a kd-tree on no points");
         let dim = points[0].len();
         assert!(dim >= 1, "points must have at least one dimension");
-        assert!(
-            points.iter().all(|p| p.len() == dim),
-            "ragged point set"
-        );
+        assert!(points.iter().all(|p| p.len() == dim), "ragged point set");
         let mut tree = KdTree {
             nodes: Vec::new(),
             points,
@@ -168,10 +165,16 @@ impl KdTree {
                 for &i in points {
                     let d = sq_dist(&self.points[i], query);
                     if heap.len() < k {
-                        heap.push(Candidate { dist_sq: d, index: i });
+                        heap.push(Candidate {
+                            dist_sq: d,
+                            index: i,
+                        });
                     } else if d < heap.peek().expect("non-empty").dist_sq {
                         heap.pop();
-                        heap.push(Candidate { dist_sq: d, index: i });
+                        heap.push(Candidate {
+                            dist_sq: d,
+                            index: i,
+                        });
                     }
                 }
             }
@@ -182,14 +185,15 @@ impl KdTree {
                 right,
             } => {
                 let delta = query[*axis] - threshold;
-                let (near, far) = if delta < 0.0 { (*left, *right) } else { (*right, *left) };
+                let (near, far) = if delta < 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
                 self.search(near, query, k, heap);
                 // Prune the far side unless the splitting plane is closer
                 // than the current k-th distance.
-                let worst = heap
-                    .peek()
-                    .map(|c| c.dist_sq)
-                    .unwrap_or(f64::INFINITY);
+                let worst = heap.peek().map(|c| c.dist_sq).unwrap_or(f64::INFINITY);
                 if heap.len() < k || delta * delta < worst {
                     self.search(far, query, k, heap);
                 }

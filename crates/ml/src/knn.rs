@@ -200,7 +200,7 @@ mod tests {
             .iter()
             .map(|r| {
                 let mut v = r.clone();
-                v.extend(std::iter::repeat(3.0).take(10));
+                v.extend(std::iter::repeat_n(3.0, 10));
                 v
             })
             .collect();
@@ -210,7 +210,7 @@ mod tests {
         for probe in 0..10 {
             let q2 = vec![probe as f64 * 5.0 + 0.1, 2.0];
             let mut q12 = q2.clone();
-            q12.extend(std::iter::repeat(3.0).take(10));
+            q12.extend(std::iter::repeat_n(3.0, 10));
             assert!((m2.predict_row(&q2) - m12.predict_row(&q12)).abs() < 1e-9);
         }
     }

@@ -54,8 +54,7 @@ impl OrdinaryKriging {
         assert!(points.len() >= 3, "kriging needs at least 3 samples");
         assert!(neighbors >= 2, "need at least 2 neighbors");
         let vario = fit_variogram(points, values);
-        let tree =
-            crate::kdtree::KdTree::build(points.iter().map(|p| p.to_vec()).collect());
+        let tree = crate::kdtree::KdTree::build(points.iter().map(|p| p.to_vec()).collect());
         OrdinaryKriging {
             points: points.to_vec(),
             values: values.to_vec(),
@@ -129,7 +128,7 @@ fn fit_variogram(points: &[[f64; 2]], values: &[f64]) -> Variogram {
     'outer: for i in 0..n {
         for j in (i + 1)..n {
             pair_count += 1;
-            if pair_count % stride != 0 {
+            if !pair_count.is_multiple_of(stride) {
                 continue;
             }
             let dx = points[i][0] - points[j][0];
@@ -195,10 +194,7 @@ fn fit_variogram(points: &[[f64; 2]], values: &[f64]) -> Variogram {
                     psill: (sill_frac * sill_guess - nug_frac * sill_guess).max(1e-9),
                     range: (range_frac * cut).max(1e-9),
                 };
-                let err: f64 = emp
-                    .iter()
-                    .map(|&(h, g)| (v.gamma(h) - g).powi(2))
-                    .sum();
+                let err: f64 = emp.iter().map(|&(h, g)| (v.gamma(h) - g).powi(2)).sum();
                 if err < best_err {
                     best_err = err;
                     best = v;
@@ -237,7 +233,11 @@ mod tests {
         let ok = OrdinaryKriging::fit(&pts, &vals, 16);
         for k in [0, 37, 111, 224] {
             let p = ok.predict(pts[k][0], pts[k][1]);
-            assert!((p - vals[k]).abs() < 1e-9, "at sample {k}: {p} vs {}", vals[k]);
+            assert!(
+                (p - vals[k]).abs() < 1e-9,
+                "at sample {k}: {p} vs {}",
+                vals[k]
+            );
         }
     }
 

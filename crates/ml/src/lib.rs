@@ -18,7 +18,7 @@
 //!
 //! **Baselines (§6.3)**
 //! - [`forest`]: Random Forest (Alimpertis et al., WWW '19 \[20\]).
-//! - [`knn`]: k-nearest-neighbours.
+//! - [`knn`][]: k-nearest-neighbours.
 //! - [`kriging`]: Ordinary Kriging geospatial interpolation (SpecSense \[26\]).
 //! - [`harmonic`]: harmonic-mean-of-history predictor (FESTIVE/MPC \[38, 64\]).
 //!

@@ -58,9 +58,9 @@ impl Matrix {
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len(), "dimension mismatch");
         let mut out = vec![0.0; self.rows];
-        for r in 0..self.rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            out[r] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *o = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         out
     }
@@ -170,7 +170,9 @@ mod tests {
 
     #[test]
     fn solve_residual_is_small() {
-        let a = Matrix::from_fn(4, 4, |r, c| ((r * 7 + c * 3 + 1) % 11) as f64 + if r == c { 10.0 } else { 0.0 });
+        let a = Matrix::from_fn(4, 4, |r, c| {
+            ((r * 7 + c * 3 + 1) % 11) as f64 + if r == c { 10.0 } else { 0.0 }
+        });
         let b = [1.0, -2.0, 3.5, 0.25];
         let x = a.solve(&b).unwrap();
         let r = a.matvec(&x);

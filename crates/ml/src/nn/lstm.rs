@@ -117,7 +117,12 @@ impl LstmLayer {
     /// Backward one step. `dh`/`dc` are gradients flowing into this step's
     /// outputs. Accumulates weight/bias gradients and returns
     /// `(dx, dh_prev, dc_prev)`.
-    pub fn backward(&mut self, dh: &[f64], dc_in: &[f64], cache: &StepCache) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    pub fn backward(
+        &mut self,
+        dh: &[f64],
+        dc_in: &[f64],
+        cache: &StepCache,
+    ) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         let hdim = self.hidden;
         let cols = self.input_dim + hdim;
         let mut dz = vec![0.0; 4 * hdim];
@@ -136,8 +141,7 @@ impl LstmLayer {
         }
         // dW += dz ⊗ xh ; db += dz ; dxh = Wᵀ dz
         let mut dxh = vec![0.0; cols];
-        for r in 0..4 * hdim {
-            let dzr = dz[r];
+        for (r, &dzr) in dz.iter().enumerate() {
             self.b.g[r] += dzr;
             let row_w = &self.w.w[r * cols..(r + 1) * cols];
             let row_g = &mut self.w.g[r * cols..(r + 1) * cols];

@@ -140,10 +140,7 @@ impl Seq2Seq {
     /// Encode an input sequence; returns per-layer (h, c) finals plus all
     /// caches (needed only for training).
     #[allow(clippy::type_complexity)]
-    fn encode(
-        &self,
-        xs: &[Vec<f64>],
-    ) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<StepCache>>) {
+    fn encode(&self, xs: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<StepCache>>) {
         let hdim = self.cfg.hidden;
         let mut h: Vec<Vec<f64>> = vec![vec![0.0; hdim]; self.cfg.layers];
         let mut c: Vec<Vec<f64>> = vec![vec![0.0; hdim]; self.cfg.layers];
@@ -257,9 +254,9 @@ impl Seq2Seq {
             // Output head grads.
             self.b_out.g[0] += dy;
             let mut dh_top = dh_next[layers - 1].clone();
-            for j in 0..hdim {
+            for (j, dh) in dh_top.iter_mut().enumerate() {
                 self.w_out.g[j] += dy * trace.h_top[t][j];
-                dh_top[j] += dy * self.w_out.w[j];
+                *dh += dy * self.w_out.w[j];
             }
             // Through the stacked layers, top to bottom.
             let mut dh_layer = dh_top;
@@ -272,11 +269,7 @@ impl Seq2Seq {
                 // dx flows into the layer below's hidden output at this step
                 // (for l > 0); at l == 0 the feedback edge is detached.
                 if l > 0 {
-                    dh_layer = dx
-                        .iter()
-                        .zip(&dh_next[l - 1])
-                        .map(|(a, b)| a + b)
-                        .collect();
+                    dh_layer = dx.iter().zip(&dh_next[l - 1]).map(|(a, b)| a + b).collect();
                 }
             }
         }
@@ -347,7 +340,11 @@ impl Seq2Seq {
     /// Train on `(inputs, targets)` pairs; returns the mean training loss
     /// per epoch. Targets should be standardized.
     pub fn train(&mut self, inputs: &[Vec<Vec<f64>>], targets: &[Vec<f64>]) -> Vec<f64> {
-        assert_eq!(inputs.len(), targets.len(), "inputs/targets length mismatch");
+        assert_eq!(
+            inputs.len(),
+            targets.len(),
+            "inputs/targets length mismatch"
+        );
         assert!(!inputs.is_empty(), "cannot train on empty data");
         let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
         let mut order: Vec<usize> = (0..inputs.len()).collect();
@@ -505,7 +502,9 @@ mod tests {
             "loss did not drop enough: {first} → {last}"
         );
         // And predictions beat the trivial zero predictor on a held-out phase.
-        let hist: Vec<Vec<f64>> = (0..8).map(|i| vec![(100.0 + i as f64 * 0.5).sin()]).collect();
+        let hist: Vec<Vec<f64>> = (0..8)
+            .map(|i| vec![(100.0 + i as f64 * 0.5).sin()])
+            .collect();
         let truth: Vec<f64> = (8..12).map(|i| (100.0f64 + i as f64 * 0.5).sin()).collect();
         let pred = m.predict(&hist);
         let model_mse: f64 = pred

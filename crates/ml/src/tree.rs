@@ -107,6 +107,7 @@ impl RegressionTree {
 
     /// Recursive node builder. `orders[f]` holds this node's sample indices
     /// sorted by feature `f` (all features share the same sample set).
+    #[allow(clippy::too_many_arguments)]
     fn build(
         &mut self,
         xs: &[Vec<f64>],
@@ -121,7 +122,11 @@ impl RegressionTree {
         let n = idx.len();
         let sum_g: f64 = idx.iter().map(|&i| g[i]).sum();
         let sum_h: f64 = idx.iter().map(|&i| h[i]).sum();
-        let leaf_value = if sum_h.abs() > 1e-12 { -sum_g / sum_h } else { 0.0 };
+        let leaf_value = if sum_h.abs() > 1e-12 {
+            -sum_g / sum_h
+        } else {
+            0.0
+        };
 
         if depth >= cfg.max_depth || n < cfg.min_samples_split {
             return self.push(Node::Leaf { value: leaf_value });
@@ -233,7 +238,11 @@ impl RegressionTree {
                     right,
                     ..
                 } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -269,7 +278,10 @@ pub struct ClassificationTree {
 
 #[derive(Debug, Clone)]
 enum CNode {
-    Leaf { class: usize, proba: Vec<f64> },
+    Leaf {
+        class: usize,
+        proba: Vec<f64>,
+    },
     Split {
         feature: usize,
         threshold: f64,
@@ -347,10 +359,7 @@ impl ClassificationTree {
         let proba: Vec<f64> = counts.iter().map(|c| c / total.max(1.0)).collect();
 
         let parent_gini = Self::gini(&counts);
-        if depth >= cfg.max_depth
-            || idx.len() < cfg.min_samples_split
-            || parent_gini == 0.0
-        {
+        if depth >= cfg.max_depth || idx.len() < cfg.min_samples_split || parent_gini == 0.0 {
             return self.push(CNode::Leaf {
                 class: majority,
                 proba,
@@ -446,7 +455,11 @@ impl ClassificationTree {
                     left,
                     right,
                 } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -464,7 +477,11 @@ impl ClassificationTree {
                     left,
                     right,
                 } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }

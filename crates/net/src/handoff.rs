@@ -126,7 +126,7 @@ impl ConnectionManager {
                 match serving {
                     None => {
                         // Serving panel vanished (left the area): drop to LTE.
-                        self.to_lte(session);
+                        self.fall_back_to_lte(session);
                         vertical = true;
                     }
                     Some(sv) => {
@@ -147,7 +147,7 @@ impl ConnectionManager {
                         }
 
                         if self.low_sinr_count >= self.cfg.time_to_trigger_s {
-                            self.to_lte(session);
+                            self.fall_back_to_lte(session);
                             vertical = true;
                         } else if self.better_neighbor_count >= self.cfg.time_to_trigger_s {
                             self.serving = better.map(|b| b.panel_id);
@@ -165,7 +165,11 @@ impl ConnectionManager {
                     } else {
                         self.good_5g_count = 0;
                     }
-                    if self.good_5g_count >= self.cfg.time_to_trigger_s || self.serving.is_none() && self.radio == RadioType::Lte && b.sinr_db > self.cfg.q_in_sinr_db + 6.0 {
+                    if self.good_5g_count >= self.cfg.time_to_trigger_s
+                        || self.serving.is_none()
+                            && self.radio == RadioType::Lte
+                            && b.sinr_db > self.cfg.q_in_sinr_db + 6.0
+                    {
                         self.radio = RadioType::FiveG;
                         self.serving = Some(b.panel_id);
                         self.good_5g_count = 0;
@@ -207,7 +211,7 @@ impl ConnectionManager {
         }
     }
 
-    fn to_lte(&mut self, session: &mut BulkSession) {
+    fn fall_back_to_lte(&mut self, session: &mut BulkSession) {
         self.radio = RadioType::Lte;
         self.serving = None;
         self.low_sinr_count = 0;

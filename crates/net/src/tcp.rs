@@ -124,7 +124,10 @@ impl BulkSession {
     /// Start a session with `cfg` and a deterministic RNG seed.
     pub fn new(cfg: TcpConfig, seed: u64) -> Self {
         assert!(cfg.connections > 0, "need at least one connection");
-        assert!(cfg.tick_s > 0.0 && cfg.tick_s <= 1.0, "tick must be in (0,1]s");
+        assert!(
+            cfg.tick_s > 0.0 && cfg.tick_s <= 1.0,
+            "tick must be in (0,1]s"
+        );
         BulkSession {
             conns: vec![Conn::new(); cfg.connections],
             cfg,

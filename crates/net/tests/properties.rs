@@ -1,6 +1,8 @@
 //! Property-based tests of the network substrate.
 
-use lumos5g_net::{BulkSession, ConnectionManager, HandoffConfig, PanelScheduler, RadioType, TcpConfig};
+use lumos5g_net::{
+    BulkSession, ConnectionManager, HandoffConfig, PanelScheduler, RadioType, TcpConfig,
+};
 use lumos5g_radio::PanelSignal;
 use proptest::prelude::*;
 

@@ -27,7 +27,9 @@ fn splitmix64(mut z: u64) -> u64 {
 
 /// Uniform value in [−1, 1] for lattice point `(i, j)` under `seed`.
 fn lattice_value(seed: u64, i: i64, j: i64) -> f64 {
-    let h = splitmix64(seed ^ splitmix64(i as u64).wrapping_mul(3) ^ splitmix64(j as u64).wrapping_mul(7));
+    let h = splitmix64(
+        seed ^ splitmix64(i as u64).wrapping_mul(3) ^ splitmix64(j as u64).wrapping_mul(7),
+    );
     (h >> 11) as f64 / ((1u64 << 53) as f64) * 2.0 - 1.0
 }
 
@@ -128,7 +130,8 @@ impl FastFading {
 
     /// Advance one tick and return the new fading value, dB.
     pub fn next_db(&mut self) -> f64 {
-        let innovation = (1.0 - self.rho * self.rho).sqrt() * self.sigma_db * gaussian(&mut self.rng);
+        let innovation =
+            (1.0 - self.rho * self.rho).sqrt() * self.sigma_db * gaussian(&mut self.rng);
         self.state_db = self.rho * self.state_db + innovation;
         self.state_db
     }

@@ -12,7 +12,9 @@ use crate::capacity::{capacity_mbps, CapacityConfig};
 use crate::fading::ShadowField;
 use crate::obstacles::ObstacleMap;
 use crate::pathloss::{ci_path_loss_db, PathLossEnv};
-use lumos5g_geo::{bearing_deg, mobility_angle_deg, positional_angle_deg, signed_delta_deg, PanelPose, Point2};
+use lumos5g_geo::{
+    bearing_deg, mobility_angle_deg, positional_angle_deg, signed_delta_deg, PanelPose, Point2,
+};
 
 /// How the UE is being carried (§4.6: mode of transport matters beyond
 /// ground speed).
@@ -165,7 +167,12 @@ pub struct RadioField {
 
 impl RadioField {
     /// Assemble a field.
-    pub fn new(panels: Vec<Panel>, obstacles: ObstacleMap, shadow: ShadowField, cfg: RadioConfig) -> Self {
+    pub fn new(
+        panels: Vec<Panel>,
+        obstacles: ObstacleMap,
+        shadow: ShadowField,
+        cfg: RadioConfig,
+    ) -> Self {
         RadioField {
             panels,
             obstacles,
@@ -210,9 +217,15 @@ impl RadioField {
         let theta_p = positional_angle_deg(&panel.pose, ue.pos);
         let theta_m = mobility_angle_deg(&panel.pose, ue.heading_deg);
 
-        let penetration = self.obstacles.penetration_loss_db(panel.pose.position, ue.pos);
+        let penetration = self
+            .obstacles
+            .penetration_loss_db(panel.pose.position, ue.pos);
         let los = penetration == 0.0;
-        let env = if los { PathLossEnv::Los } else { PathLossEnv::Nlos };
+        let env = if los {
+            PathLossEnv::Los
+        } else {
+            PathLossEnv::Nlos
+        };
         let pl = ci_path_loss_db(self.cfg.freq_ghz, d, env);
         let obstruction = penetration.min(self.cfg.nlos_cap_db);
 
@@ -231,9 +244,7 @@ impl RadioField {
             TransportMode::Stationary => {}
         }
 
-        let rsrp = panel.eirp_dbm
-            + panel.pattern.gain_dbi(theta_p)
-            + self.cfg.ue_gain_dbi
+        let rsrp = panel.eirp_dbm + panel.pattern.gain_dbi(theta_p) + self.cfg.ue_gain_dbi
             - pl
             - obstruction
             - extra
@@ -266,7 +277,12 @@ impl RadioField {
         if ue.speed_mps < 0.1 {
             return false; // effectively stationary; user orientation unknown
         }
-        let bearing_to_panel = bearing_deg(ue.pos.x, ue.pos.y, panel.pose.position.x, panel.pose.position.y);
+        let bearing_to_panel = bearing_deg(
+            ue.pos.x,
+            ue.pos.y,
+            panel.pose.position.x,
+            panel.pose.position.y,
+        );
         let off_heading = signed_delta_deg(ue.heading_deg, bearing_to_panel).abs();
         off_heading > 180.0 - self.cfg.body_halfangle_deg
     }
@@ -301,7 +317,9 @@ mod tests {
     fn close_frontal_ue_saturates_capacity() {
         let f = simple_field();
         // 15 m in front, stationary.
-        let s = f.best_signal(&ue_at(0.0, 15.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        let s = f
+            .best_signal(&ue_at(0.0, 15.0, 0.0, TransportMode::Stationary, 0.0), 0.0)
+            .unwrap();
         assert!(s.los);
         assert_eq!(s.capacity_mbps, 2_000.0);
     }
@@ -309,8 +327,12 @@ mod tests {
     #[test]
     fn capacity_decays_with_distance() {
         let f = simple_field();
-        let near = f.best_signal(&ue_at(0.0, 30.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
-        let far = f.best_signal(&ue_at(0.0, 250.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        let near = f
+            .best_signal(&ue_at(0.0, 30.0, 0.0, TransportMode::Stationary, 0.0), 0.0)
+            .unwrap();
+        let far = f
+            .best_signal(&ue_at(0.0, 250.0, 0.0, TransportMode::Stationary, 0.0), 0.0)
+            .unwrap();
         assert!(near.capacity_mbps > far.capacity_mbps);
         assert!(far.capacity_mbps < 1_500.0, "far = {}", far.capacity_mbps);
     }
@@ -318,8 +340,12 @@ mod tests {
     #[test]
     fn behind_panel_is_much_worse_than_front() {
         let f = simple_field();
-        let front = f.best_signal(&ue_at(0.0, 40.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
-        let back = f.best_signal(&ue_at(0.0, -40.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        let front = f
+            .best_signal(&ue_at(0.0, 40.0, 0.0, TransportMode::Stationary, 0.0), 0.0)
+            .unwrap();
+        let back = f
+            .best_signal(&ue_at(0.0, -40.0, 0.0, TransportMode::Stationary, 0.0), 0.0)
+            .unwrap();
         assert!(front.rsrp_dbm - back.rsrp_dbm > 25.0);
     }
 
@@ -331,9 +357,16 @@ mod tests {
             max: Point2::new(5.0, 60.0),
             loss_db: 40.0,
         });
-        let blocked = f.best_signal(&ue_at(0.0, 100.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        let blocked = f
+            .best_signal(&ue_at(0.0, 100.0, 0.0, TransportMode::Stationary, 0.0), 0.0)
+            .unwrap();
         assert!(!blocked.los);
-        let clear = f.best_signal(&ue_at(30.0, 100.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        let clear = f
+            .best_signal(
+                &ue_at(30.0, 100.0, 0.0, TransportMode::Stationary, 0.0),
+                0.0,
+            )
+            .unwrap();
         assert!(clear.los);
         assert!(clear.capacity_mbps > blocked.capacity_mbps);
     }
@@ -346,7 +379,9 @@ mod tests {
             max: Point2::new(5.0, 60.0),
             loss_db: 500.0, // absurd raw loss
         });
-        let s = f.best_signal(&ue_at(0.0, 100.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        let s = f
+            .best_signal(&ue_at(0.0, 100.0, 0.0, TransportMode::Stationary, 0.0), 0.0)
+            .unwrap();
         // Capped at nlos_cap_db (25), so the link survives via "reflection".
         assert!(s.rsrp_dbm > -120.0);
     }
@@ -355,32 +390,46 @@ mod tests {
     fn walking_away_triggers_body_blockage() {
         let f = simple_field();
         // UE north of the panel walking further north (panel behind user).
-        let away = f.best_signal(&ue_at(0.0, 60.0, 0.0, TransportMode::Walking, 1.4), 0.0).unwrap();
+        let away = f
+            .best_signal(&ue_at(0.0, 60.0, 0.0, TransportMode::Walking, 1.4), 0.0)
+            .unwrap();
         // Walking toward the panel (southward) from the same spot.
-        let toward = f.best_signal(&ue_at(0.0, 60.0, 180.0, TransportMode::Walking, 1.4), 0.0).unwrap();
+        let toward = f
+            .best_signal(&ue_at(0.0, 60.0, 180.0, TransportMode::Walking, 1.4), 0.0)
+            .unwrap();
         assert!((toward.rsrp_dbm - away.rsrp_dbm - 16.0).abs() < 1e-9);
     }
 
     #[test]
     fn theta_m_reported_per_convention() {
         let f = simple_field();
-        let s = f.best_signal(&ue_at(0.0, 60.0, 180.0, TransportMode::Walking, 1.4), 0.0).unwrap();
+        let s = f
+            .best_signal(&ue_at(0.0, 60.0, 180.0, TransportMode::Walking, 1.4), 0.0)
+            .unwrap();
         assert!((s.theta_m_deg - 180.0).abs() < 1e-9); // head-on
     }
 
     #[test]
     fn driving_fast_is_worse_than_driving_slow() {
         let f = simple_field();
-        let slow = f.best_signal(&ue_at(0.0, 80.0, 0.0, TransportMode::Driving, 1.0), 0.0).unwrap();
-        let fast = f.best_signal(&ue_at(0.0, 80.0, 0.0, TransportMode::Driving, 12.0), 0.0).unwrap();
+        let slow = f
+            .best_signal(&ue_at(0.0, 80.0, 0.0, TransportMode::Driving, 1.0), 0.0)
+            .unwrap();
+        let fast = f
+            .best_signal(&ue_at(0.0, 80.0, 0.0, TransportMode::Driving, 12.0), 0.0)
+            .unwrap();
         assert!(slow.rsrp_dbm > fast.rsrp_dbm + 5.0);
     }
 
     #[test]
     fn driving_is_worse_than_walking_toward() {
         let f = simple_field();
-        let walk = f.best_signal(&ue_at(0.0, 80.0, 180.0, TransportMode::Walking, 1.4), 0.0).unwrap();
-        let drive = f.best_signal(&ue_at(0.0, 80.0, 180.0, TransportMode::Driving, 8.0), 0.0).unwrap();
+        let walk = f
+            .best_signal(&ue_at(0.0, 80.0, 180.0, TransportMode::Walking, 1.4), 0.0)
+            .unwrap();
+        let drive = f
+            .best_signal(&ue_at(0.0, 80.0, 180.0, TransportMode::Driving, 8.0), 0.0)
+            .unwrap();
         assert!(walk.capacity_mbps > drive.capacity_mbps);
     }
 
@@ -394,9 +443,13 @@ mod tests {
             ShadowField::new(1, 10.0, 0.0),
             RadioConfig::default(),
         );
-        let near_p1 = f.best_signal(&ue_at(0.0, 20.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        let near_p1 = f
+            .best_signal(&ue_at(0.0, 20.0, 0.0, TransportMode::Stationary, 0.0), 0.0)
+            .unwrap();
         assert_eq!(near_p1.panel_id, 1);
-        let near_p2 = f.best_signal(&ue_at(0.0, 180.0, 0.0, TransportMode::Stationary, 0.0), 0.0).unwrap();
+        let near_p2 = f
+            .best_signal(&ue_at(0.0, 180.0, 0.0, TransportMode::Stationary, 0.0), 0.0)
+            .unwrap();
         assert_eq!(near_p2.panel_id, 2);
     }
 
@@ -421,7 +474,13 @@ mod tests {
         let clean = mk(0.0).evaluate(&ue, 0.0);
         let loaded = mk(0.5).evaluate(&ue, 0.0);
         for (c, l) in clean.iter().zip(&loaded) {
-            assert!(l.sinr_db < c.sinr_db, "panel {}: {} !< {}", c.panel_id, l.sinr_db, c.sinr_db);
+            assert!(
+                l.sinr_db < c.sinr_db,
+                "panel {}: {} !< {}",
+                c.panel_id,
+                l.sinr_db,
+                c.sinr_db
+            );
             assert_eq!(l.rsrp_dbm, c.rsrp_dbm); // interference affects SINR only
         }
     }

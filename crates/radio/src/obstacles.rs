@@ -143,10 +143,7 @@ impl ObstacleMap {
     /// Total penetration loss along the segment `p → q`, dB. Zero means
     /// unobstructed line of sight.
     pub fn penetration_loss_db(&self, p: Point2, q: Point2) -> f64 {
-        self.obstacles
-            .iter()
-            .map(|o| o.loss_on_segment(p, q))
-            .sum()
+        self.obstacles.iter().map(|o| o.loss_on_segment(p, q)).sum()
     }
 
     /// True when nothing blocks the segment.

@@ -1,0 +1,311 @@
+//! The serving engine: shard pool, UE-affinity routing, lifecycle and
+//! aggregate reporting.
+
+use crate::metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics};
+use crate::queue::{IngestQueue, OverloadPolicy};
+use crate::registry::ModelRegistry;
+use crate::shard::{run_shard, Ingest, Prediction};
+use crossbeam::channel::{self, Receiver};
+use lumos5g::{FeatureSet, FeatureSpec, TrainedRegressor};
+use lumos5g_sim::Record;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Engine sizing and behavior.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Worker shards (≥ 1). UEs are hash-partitioned across them.
+    pub shards: usize,
+    /// Bounded ingest-queue capacity per shard.
+    pub queue_capacity: usize,
+    /// What to do when a shard queue is full.
+    pub policy: OverloadPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            shards: 4,
+            queue_capacity: 1024,
+            policy: OverloadPolicy::Block,
+        }
+    }
+}
+
+/// Final aggregate report returned by [`Engine::shutdown`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// Per-shard final snapshots.
+    pub shards: Vec<MetricsSnapshot>,
+    /// Records ingested across shards.
+    pub processed: u64,
+    /// Predictions emitted across shards.
+    pub predictions: u64,
+    /// Records shed at the front door.
+    pub shed: u64,
+    /// Aggregate p50 end-to-end latency, ns.
+    pub p50_ns: u64,
+    /// Aggregate p95 end-to-end latency, ns.
+    pub p95_ns: u64,
+    /// Aggregate p99 end-to-end latency, ns.
+    pub p99_ns: u64,
+    /// Online mean absolute next-second error, Mbps.
+    pub mae_mbps: Option<f64>,
+}
+
+struct ShardHandle {
+    queue: IngestQueue<Ingest>,
+    metrics: Arc<ShardMetrics>,
+    worker: JoinHandle<()>,
+}
+
+/// A running serving engine. See the crate docs for the architecture.
+pub struct Engine {
+    shards: Vec<ShardHandle>,
+    registry: Arc<ModelRegistry>,
+    responses: Receiver<Prediction>,
+}
+
+impl Engine {
+    /// Start the engine serving `model` under `cfg`.
+    ///
+    /// The feature spec is taken from the model itself so the serving path
+    /// can never disagree with training; feature-free models (harmonic
+    /// mean) fall back to the location-only spec for window sizing.
+    pub fn start(model: TrainedRegressor, cfg: EngineConfig) -> Engine {
+        let spec = model
+            .spec()
+            .copied()
+            .unwrap_or_else(|| FeatureSpec::new(FeatureSet::L));
+        let registry = Arc::new(ModelRegistry::new(model));
+        let (out_tx, out_rx) = channel::unbounded();
+        let nshards = cfg.shards.max(1);
+        let mut shards = Vec::with_capacity(nshards);
+        for shard_id in 0..nshards {
+            let (tx, rx) = channel::bounded(cfg.queue_capacity.max(1));
+            let metrics = Arc::new(ShardMetrics::new());
+            let worker = {
+                let registry = registry.clone();
+                let out = out_tx.clone();
+                let metrics = metrics.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-shard-{shard_id}"))
+                    .spawn(move || run_shard(shard_id, spec, registry, rx, out, metrics))
+                    .expect("spawn shard worker")
+            };
+            shards.push(ShardHandle {
+                queue: IngestQueue::new(tx, cfg.policy),
+                metrics,
+                worker,
+            });
+        }
+        drop(out_tx); // shards hold the only senders
+        Engine {
+            shards,
+            registry,
+            responses: out_rx,
+        }
+    }
+
+    /// The model registry (hot-swap entry point).
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Shards running.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, ue: u64) -> usize {
+        // SplitMix64 finalizer: avalanche the UE id so sequential ids
+        // spread evenly across shards.
+        let mut z = ue.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) % self.shards.len() as u64) as usize
+    }
+
+    /// Submit one record for `ue`. Returns `false` when the record was shed
+    /// under [`OverloadPolicy::Shed`].
+    pub fn submit(&self, ue: u64, record: Record) -> bool {
+        let shard = self.shard_of(ue);
+        self.shards[shard].queue.push(Ingest {
+            ue,
+            record,
+            enqueued: Instant::now(),
+        })
+    }
+
+    /// The response stream (one [`Prediction`] per accepted record).
+    pub fn responses(&self) -> &Receiver<Prediction> {
+        &self.responses
+    }
+
+    /// Point-in-time per-shard snapshots (counters + queue-depth gauges).
+    pub fn snapshot(&self) -> Vec<MetricsSnapshot> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.metrics.snapshot(i, s.queue.depth()))
+            .collect()
+    }
+
+    /// Stop ingest, drain the workers and return the final report.
+    ///
+    /// Buffered responses remain readable on the receiver returned inside
+    /// the tuple until it is dropped.
+    pub fn shutdown(self) -> (EngineReport, Receiver<Prediction>) {
+        let Engine {
+            shards,
+            registry: _,
+            responses,
+        } = self;
+        let mut snapshots = Vec::with_capacity(shards.len());
+        let agg = LatencyHistogram::new();
+        let mut shed = 0;
+        // Dropping each queue disconnects that shard's ingest channel; the
+        // worker drains what is buffered and exits.
+        let mut workers = Vec::with_capacity(shards.len());
+        for (i, s) in shards.into_iter().enumerate() {
+            shed += s.queue.shed_count();
+            drop(s.queue);
+            workers.push((i, s.metrics, s.worker));
+        }
+        let mut err_n = 0u64;
+        let mut err_milli_sum = 0u64;
+        for (i, metrics, worker) in workers {
+            worker.join().expect("shard worker panicked");
+            agg.merge(&metrics.latency);
+            err_n += metrics.err_count.load(std::sync::atomic::Ordering::Relaxed);
+            err_milli_sum += metrics
+                .abs_err_milli_sum
+                .load(std::sync::atomic::Ordering::Relaxed);
+            snapshots.push(metrics.snapshot(i, 0));
+        }
+        let processed = snapshots.iter().map(|s| s.processed).sum();
+        let predictions = snapshots.iter().map(|s| s.predictions).sum();
+        let report = EngineReport {
+            processed,
+            predictions,
+            shed,
+            p50_ns: agg.quantile_ns(0.50),
+            p95_ns: agg.quantile_ns(0.95),
+            p99_ns: agg.quantile_ns(0.99),
+            mae_mbps: if err_n > 0 {
+                Some(err_milli_sum as f64 / 1000.0 / err_n as f64)
+            } else {
+                None
+            },
+            shards: snapshots,
+        };
+        (report, responses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos5g_sim::{Activity, Record};
+
+    fn rec(pass: u32, t: u32, thpt: f64) -> Record {
+        Record {
+            area: 1,
+            pass_id: pass,
+            trajectory: 0,
+            t,
+            lat: 44.88,
+            lon: -93.20,
+            gps_accuracy_m: 2.0,
+            activity: Activity::Walking,
+            moving_speed_mps: 1.4,
+            compass_deg: 90.0,
+            throughput_mbps: thpt,
+            on_5g: true,
+            cell_id: 2,
+            lte_rsrp_dbm: -95.0,
+            nr_ssrsrp_dbm: -80.0,
+            horizontal_handoff: false,
+            vertical_handoff: false,
+            panel_distance_m: 50.0,
+            theta_p_deg: 30.0,
+            theta_m_deg: 180.0,
+            pixel_x: 1000,
+            pixel_y: 2000,
+            snapped_x_m: 1.0,
+            snapped_y_m: 2.0,
+            true_x_m: 1.0,
+            true_y_m: 2.0,
+            true_speed_mps: 1.4,
+        }
+    }
+
+    #[test]
+    fn engine_answers_every_submitted_record() {
+        let engine = Engine::start(
+            TrainedRegressor::Harmonic { window: 5 },
+            EngineConfig {
+                shards: 3,
+                queue_capacity: 8,
+                policy: OverloadPolicy::Block,
+            },
+        );
+        for ue in 0..20u64 {
+            for t in 0..5 {
+                assert!(engine.submit(ue, rec(ue as u32, t, 100.0)));
+            }
+        }
+        let (report, responses) = engine.shutdown();
+        assert_eq!(report.processed, 100);
+        assert_eq!(report.shed, 0);
+        assert_eq!(responses.iter().count(), 100);
+    }
+
+    #[test]
+    fn ue_affinity_is_stable_and_spread() {
+        let engine = Engine::start(
+            TrainedRegressor::Harmonic { window: 5 },
+            EngineConfig {
+                shards: 4,
+                ..Default::default()
+            },
+        );
+        let mut used = [false; 4];
+        for ue in 0..64u64 {
+            let s = engine.shard_of(ue);
+            assert_eq!(s, engine.shard_of(ue), "routing must be deterministic");
+            used[s] = true;
+        }
+        assert!(
+            used.iter().all(|&u| u),
+            "64 UEs left a shard empty: {used:?}"
+        );
+        let (report, _rx) = engine.shutdown();
+        assert_eq!(report.processed, 0);
+    }
+
+    #[test]
+    fn shed_policy_counts_overflow() {
+        // One shard, tiny queue, no consumer until shutdown: the worker
+        // thread drains at its own pace, so flooding must shed.
+        let engine = Engine::start(
+            TrainedRegressor::Harmonic { window: 5 },
+            EngineConfig {
+                shards: 1,
+                queue_capacity: 1,
+                policy: OverloadPolicy::Shed,
+            },
+        );
+        let mut accepted = 0u64;
+        for t in 0..20_000 {
+            if engine.submit(1, rec(1, t, 100.0)) {
+                accepted += 1;
+            }
+        }
+        let (report, responses) = engine.shutdown();
+        assert_eq!(report.processed, accepted);
+        assert_eq!(report.shed, 20_000 - accepted);
+        assert_eq!(responses.iter().count() as u64, accepted);
+    }
+}

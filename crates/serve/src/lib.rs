@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! # lumos5g-serve
+//!
+//! A sharded, real-time serving engine for trained Lumos5G throughput
+//! predictors — the deployment half of the paper's vision (§7): the models
+//! trained offline on campaign data must answer *"what will this UE's
+//! throughput be next second?"* online, per 1 Hz sample, for thousands of
+//! concurrent UEs.
+//!
+//! Architecture (one [`engine::Engine`]):
+//!
+//! ```text
+//!                      ┌────────── shard 0 ── sessions {ue → window} ─┐
+//!  submit(ue, record) ─┤ hash(ue) ─ shard 1 ── extract_latest ────────┼─→ responses
+//!                      └────────── shard N ── registry.predict_one ───┘
+//! ```
+//!
+//! * **UE affinity** — records are routed to a shard by UE-id hash, so one
+//!   UE's stream is always processed by one worker in arrival order; the
+//!   per-session sliding window ([`session::Session`]) that feeds the `C`
+//!   feature group is therefore race-free without locks.
+//! * **Bit-exact with offline eval** — shards build features through
+//!   [`lumos5g::FeatureSpec::extract_latest`] and predict through
+//!   [`lumos5g::TrainedRegressor::predict_one`], the very code paths the
+//!   offline `eval` reduces to, so online predictions are bit-identical to
+//!   the training-time numbers (asserted by the workspace `serving` test).
+//! * **Hot swap** — [`registry::ModelRegistry`] atomically replaces the
+//!   served model mid-stream; in-flight records finish on the version they
+//!   started with and responses carry the version that produced them.
+//! * **Backpressure** — ingest queues are bounded; [`queue::OverloadPolicy`]
+//!   picks between blocking the producer and shedding load (counted, never
+//!   silent).
+//! * **Observability** — per-shard counters, log-bucketed latency
+//!   histograms (p50/p95/p99), queue-depth gauges and online
+//!   prediction-error tracking ([`metrics`]).
+//!
+//! [`replay::ReplaySource`] turns a simulated campaign [`lumos5g_sim::Dataset`]
+//! into a deterministic multi-UE arrival stream for closed-loop load tests
+//! (`cargo run -p lumos5g-bench --bin serve_bench`).
+
+pub mod engine;
+pub mod metrics;
+pub mod queue;
+pub mod registry;
+pub mod replay;
+pub mod session;
+pub mod shard;
+
+pub use engine::{Engine, EngineConfig, EngineReport};
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics};
+pub use queue::OverloadPolicy;
+pub use registry::{ModelRegistry, ModelVersion};
+pub use replay::{ReplaySource, ReplayStats};
+pub use session::Session;
+pub use shard::{Ingest, Prediction};

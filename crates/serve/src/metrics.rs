@@ -1,0 +1,263 @@
+//! Lock-free serving metrics: per-shard counters, log-bucketed latency
+//! histograms and online prediction-error tracking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-buckets per power-of-two octave (≈ ±6 % value resolution).
+const SUBBUCKETS: usize = 8;
+/// Octaves covered: 2^0 .. 2^63 nanoseconds.
+const OCTAVES: usize = 64;
+
+/// A fixed-size log-bucketed histogram of nanosecond latencies.
+///
+/// Recording is a single relaxed atomic increment, so shards can share one
+/// histogram (or keep their own and merge at snapshot time). Quantiles are
+/// read from the bucket boundaries — accurate to one sub-bucket (~6 %),
+/// plenty for p50/p95/p99 reporting.
+pub struct LatencyHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl std::fmt::Debug for LatencyHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LatencyHistogram")
+            .field("count", &self.count())
+            .field("mean_ns", &self.mean_ns())
+            .finish()
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..OCTAVES * SUBBUCKETS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        let v = ns.max(1);
+        let octave = 63 - v.leading_zeros() as usize;
+        let frac = if octave >= 3 {
+            ((v >> (octave - 3)) & 0x7) as usize
+        } else {
+            // Values < 8 ns sit in the low octaves where the sub-bucket
+            // shift would underflow; linear within the octave is exact.
+            (v as usize) & 0x7
+        };
+        octave * SUBBUCKETS + frac
+    }
+
+    /// Representative (upper-edge) value of a bucket, ns.
+    fn bucket_value(idx: usize) -> u64 {
+        let octave = idx / SUBBUCKETS;
+        let frac = (idx % SUBBUCKETS) as u64;
+        if octave >= 3 {
+            (1u64 << octave) + ((frac + 1) << (octave - 3))
+        } else {
+            frac + 1
+        }
+    }
+
+    /// Record one latency.
+    pub fn record(&self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency, ns (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.sum_ns
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Approximate `q`-quantile (`0.0 ..= 1.0`), ns. Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_value(i);
+            }
+        }
+        Self::bucket_value(OCTAVES * SUBBUCKETS - 1)
+    }
+
+    /// Fold another histogram into this one (for cross-shard aggregation).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter().zip(&other.buckets) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
+/// Counters owned by one shard worker.
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Records ingested.
+    pub processed: AtomicU64,
+    /// Predictions emitted (warm sessions).
+    pub predictions: AtomicU64,
+    /// Records absorbed while a session was still warming up.
+    pub warmups: AtomicU64,
+    /// Session-window resets caused by stream discontinuities.
+    pub resets: AtomicU64,
+    /// End-to-end latency (enqueue → prediction emitted).
+    pub latency: LatencyHistogram,
+    /// Sum of |predicted − measured| next-second errors, milli-Mbps
+    /// fixed-point (atomic f64 without portable intrinsics).
+    pub abs_err_milli_sum: AtomicU64,
+    /// Errors accumulated into [`Self::abs_err_milli_sum`].
+    pub err_count: AtomicU64,
+}
+
+impl ShardMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Track one realized next-second absolute error, Mbps.
+    pub fn record_error(&self, abs_err_mbps: f64) {
+        let milli = (abs_err_mbps * 1000.0).round().max(0.0) as u64;
+        self.abs_err_milli_sum.fetch_add(milli, Ordering::Relaxed);
+        self.err_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mean absolute next-second error so far, Mbps (None before any truth
+    /// arrived).
+    pub fn mae_mbps(&self) -> Option<f64> {
+        let n = self.err_count.load(Ordering::Relaxed);
+        if n == 0 {
+            return None;
+        }
+        Some(self.abs_err_milli_sum.load(Ordering::Relaxed) as f64 / 1000.0 / n as f64)
+    }
+}
+
+/// A point-in-time view of one shard for operator reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Shard index.
+    pub shard: usize,
+    /// Records ingested.
+    pub processed: u64,
+    /// Predictions emitted.
+    pub predictions: u64,
+    /// Warm-up records (no prediction possible yet).
+    pub warmups: u64,
+    /// Window resets.
+    pub resets: u64,
+    /// Ingest-queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Median latency, ns.
+    pub p50_ns: u64,
+    /// 95th-percentile latency, ns.
+    pub p95_ns: u64,
+    /// 99th-percentile latency, ns.
+    pub p99_ns: u64,
+    /// Online mean absolute error, Mbps.
+    pub mae_mbps: Option<f64>,
+}
+
+impl ShardMetrics {
+    /// Snapshot this shard's counters.
+    pub fn snapshot(&self, shard: usize, queue_depth: usize) -> MetricsSnapshot {
+        MetricsSnapshot {
+            shard,
+            processed: self.processed.load(Ordering::Relaxed),
+            predictions: self.predictions.load(Ordering::Relaxed),
+            warmups: self.warmups.load(Ordering::Relaxed),
+            resets: self.resets.load(Ordering::Relaxed),
+            queue_depth,
+            p50_ns: self.latency.quantile_ns(0.50),
+            p95_ns: self.latency.quantile_ns(0.95),
+            p99_ns: self.latency.quantile_ns(0.99),
+            mae_mbps: self.mae_mbps(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_the_data() {
+        let h = LatencyHistogram::new();
+        for ns in 1..=1000u64 {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_ns(0.50);
+        let p99 = h.quantile_ns(0.99);
+        // Log-bucketed: one sub-bucket (~12.5 %) of slack either side.
+        assert!((400..=640).contains(&p50), "p50 = {p50}");
+        assert!((900..=1152).contains(&p99), "p99 = {p99}");
+        assert!(p50 <= p99);
+        assert_eq!(h.mean_ns(), 500);
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        for _ in 0..10 {
+            a.record(100);
+            b.record(10_000);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 20);
+        assert!(a.quantile_ns(0.25) <= 128);
+        assert!(a.quantile_ns(0.95) >= 8_192);
+    }
+
+    #[test]
+    fn error_tracking_reports_mae() {
+        let m = ShardMetrics::new();
+        assert_eq!(m.mae_mbps(), None);
+        m.record_error(100.0);
+        m.record_error(50.0);
+        let mae = m.mae_mbps().unwrap();
+        assert!((mae - 75.0).abs() < 1e-9, "mae = {mae}");
+    }
+
+    #[test]
+    fn tiny_latencies_do_not_panic() {
+        let h = LatencyHistogram::new();
+        for ns in 0..16 {
+            h.record(ns);
+        }
+        assert_eq!(h.count(), 16);
+        assert!(h.quantile_ns(1.0) >= 8);
+    }
+}

@@ -1,0 +1,91 @@
+//! Bounded ingest queues with explicit overload behavior.
+
+use crossbeam::channel::{Sender, TrySendError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What to do when a shard's ingest queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverloadPolicy {
+    /// Block the producer until the shard drains (lossless backpressure —
+    /// the right choice for replay/batch workloads).
+    Block,
+    /// Drop the record and count it (bounded-latency operation — the right
+    /// choice for live telemetry where stale samples are worthless).
+    Shed,
+}
+
+/// A bounded sender to one shard, applying an [`OverloadPolicy`].
+#[derive(Debug, Clone)]
+pub struct IngestQueue<T> {
+    tx: Sender<T>,
+    policy: OverloadPolicy,
+    shed: Arc<AtomicU64>,
+}
+
+impl<T> IngestQueue<T> {
+    /// Wrap a bounded channel sender.
+    pub fn new(tx: Sender<T>, policy: OverloadPolicy) -> Self {
+        IngestQueue {
+            tx,
+            policy,
+            shed: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Offer one item. Returns `false` only when the item was shed (or the
+    /// shard is gone).
+    pub fn push(&self, item: T) -> bool {
+        match self.policy {
+            OverloadPolicy::Block => self.tx.send(item).is_ok(),
+            OverloadPolicy::Shed => match self.tx.try_send(item) {
+                Ok(()) => true,
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            },
+        }
+    }
+
+    /// Items shed so far.
+    pub fn shed_count(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Current queue depth (gauge).
+    pub fn depth(&self) -> usize {
+        self.tx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel;
+
+    #[test]
+    fn shed_policy_drops_and_counts_when_full() {
+        let (tx, rx) = channel::bounded(2);
+        let q = IngestQueue::new(tx, OverloadPolicy::Shed);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert!(!q.push(3));
+        assert!(!q.push(4));
+        assert_eq!(q.shed_count(), 2);
+        assert_eq!(q.depth(), 2);
+        assert_eq!(rx.try_recv(), Ok(1));
+    }
+
+    #[test]
+    fn block_policy_is_lossless_with_a_consumer() {
+        let (tx, rx) = channel::bounded(1);
+        let q = IngestQueue::new(tx, OverloadPolicy::Block);
+        let consumer = std::thread::spawn(move || rx.iter().sum::<u64>());
+        for i in 0..100u64 {
+            assert!(q.push(i));
+        }
+        drop(q);
+        assert_eq!(consumer.join().unwrap(), 4950);
+    }
+}

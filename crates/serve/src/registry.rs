@@ -1,0 +1,91 @@
+//! Versioned model registry with atomic hot swap.
+//!
+//! Shards read the current model once per record; an operator thread can
+//! [`ModelRegistry::swap`] in a retrained model at any time without pausing
+//! ingest. Records already dispatched keep the `Arc` of the version they
+//! started with — a swap can never tear a prediction.
+
+use lumos5g::TrainedRegressor;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// One published model generation.
+#[derive(Debug)]
+pub struct ModelVersion {
+    /// Monotonic generation number (first published model is 1).
+    pub version: u64,
+    /// The trained model (shared, immutable).
+    pub regressor: Arc<TrainedRegressor>,
+}
+
+/// Atomically swappable model holder shared by all shards.
+#[derive(Debug)]
+pub struct ModelRegistry {
+    current: RwLock<Arc<ModelVersion>>,
+}
+
+impl ModelRegistry {
+    /// Publish the initial model as version 1.
+    pub fn new(model: TrainedRegressor) -> Self {
+        ModelRegistry {
+            current: RwLock::new(Arc::new(ModelVersion {
+                version: 1,
+                regressor: Arc::new(model),
+            })),
+        }
+    }
+
+    /// Replace the served model; returns the new version number.
+    pub fn swap(&self, model: TrainedRegressor) -> u64 {
+        let mut guard = self.current.write();
+        let version = guard.version + 1;
+        *guard = Arc::new(ModelVersion {
+            version,
+            regressor: Arc::new(model),
+        });
+        version
+    }
+
+    /// The currently served model (cheap: read lock + `Arc` clone).
+    pub fn current(&self) -> Arc<ModelVersion> {
+        self.current.read().clone()
+    }
+
+    /// Current version number.
+    pub fn version(&self) -> u64 {
+        self.current.read().version
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lumos5g::TrainedRegressor;
+
+    fn dummy_model(window: usize) -> TrainedRegressor {
+        TrainedRegressor::Harmonic { window }
+    }
+
+    #[test]
+    fn swap_bumps_version_monotonically() {
+        let reg = ModelRegistry::new(dummy_model(5));
+        assert_eq!(reg.version(), 1);
+        assert_eq!(reg.swap(dummy_model(7)), 2);
+        assert_eq!(reg.swap(dummy_model(9)), 3);
+        assert_eq!(reg.current().version, 3);
+    }
+
+    #[test]
+    fn readers_keep_their_generation_across_a_swap() {
+        let reg = ModelRegistry::new(dummy_model(5));
+        let held = reg.current();
+        reg.swap(dummy_model(7));
+        // The held Arc still points at version 1's model.
+        assert_eq!(held.version, 1);
+        assert!(matches!(
+            *held.regressor,
+            TrainedRegressor::Harmonic { window: 5 }
+        ));
+        assert_eq!(reg.current().version, 2);
+    }
+}

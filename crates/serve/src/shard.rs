@@ -1,0 +1,195 @@
+//! Shard worker: owns the sessions of the UEs hashed to it and turns each
+//! incoming record into (at most) one prediction.
+
+use crate::metrics::ShardMetrics;
+use crate::registry::ModelRegistry;
+use crate::session::{PendingPrediction, Session};
+use crossbeam::channel::{Receiver, Sender};
+use lumos5g::FeatureSpec;
+use lumos5g_sim::Record;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One unit of ingest work.
+#[derive(Debug)]
+pub struct Ingest {
+    /// UE identity (routing key).
+    pub ue: u64,
+    /// The 1 Hz sample.
+    pub record: Record,
+    /// When the record entered the engine (for end-to-end latency).
+    pub enqueued: Instant,
+}
+
+/// One response — every ingested record produces exactly one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// UE the response belongs to.
+    pub ue: u64,
+    /// Pass of the triggering record.
+    pub pass_id: u32,
+    /// Second of the triggering record (the prediction targets `t + 1`).
+    pub t: u32,
+    /// Shard that served it.
+    pub shard: usize,
+    /// Model generation that produced it.
+    pub model_version: u64,
+    /// Predicted next-second throughput, Mbps (`None` while the session
+    /// window is still warming up).
+    pub predicted_mbps: Option<f64>,
+    /// Measured throughput of the triggering record (echoed for
+    /// closed-loop consumers).
+    pub measured_mbps: f64,
+    /// Enqueue-to-emit latency, ns.
+    pub latency_ns: u64,
+}
+
+/// Run one shard worker until its ingest channel disconnects.
+///
+/// Per record: update the UE's session window, settle any pending
+/// prediction against the newly measured throughput, extract features via
+/// [`FeatureSpec::extract_latest`] and predict via
+/// `TrainedRegressor::predict_one` on the registry's current model — the
+/// exact offline code paths, which is what makes serving bit-exact.
+pub fn run_shard(
+    shard: usize,
+    spec: FeatureSpec,
+    registry: Arc<ModelRegistry>,
+    rx: Receiver<Ingest>,
+    out: Sender<Prediction>,
+    metrics: Arc<ShardMetrics>,
+) {
+    let required = spec.required_window();
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    for msg in rx.iter() {
+        let Ingest {
+            ue,
+            record,
+            enqueued,
+        } = msg;
+        let session = sessions.entry(ue).or_insert_with(|| Session::new(required));
+        let resets_before = session.resets;
+        if let Some(err) = session.push(record) {
+            metrics.record_error(err);
+        }
+        metrics
+            .resets
+            .fetch_add(session.resets - resets_before, Ordering::Relaxed);
+        metrics.processed.fetch_add(1, Ordering::Relaxed);
+
+        let model = registry.current();
+        let newest = session
+            .window()
+            .last()
+            .expect("window non-empty after push");
+        let (pass_id, t, measured) = (newest.pass_id, newest.t, newest.throughput_mbps);
+        let predicted = spec
+            .extract_latest(session.window())
+            .and_then(|x| model.regressor.predict_one(&x));
+        match predicted {
+            Some(y) => {
+                session.pending = Some(PendingPrediction {
+                    pass_id,
+                    t,
+                    predicted_mbps: y,
+                });
+                metrics.predictions.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {
+                metrics.warmups.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let latency_ns = enqueued.elapsed().as_nanos() as u64;
+        metrics.latency.record(latency_ns);
+        if out
+            .send(Prediction {
+                ue,
+                pass_id,
+                t,
+                shard,
+                model_version: model.version,
+                predicted_mbps: predicted,
+                measured_mbps: measured,
+                latency_ns,
+            })
+            .is_err()
+        {
+            // Consumer went away: keep draining so producers never block
+            // on a dead shard, but stop emitting.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::channel;
+    use lumos5g::{FeatureSet, TrainedRegressor};
+    use lumos5g_sim::{Activity, Record};
+
+    fn rec(ue_pass: u32, t: u32, thpt: f64) -> Record {
+        Record {
+            area: 1,
+            pass_id: ue_pass,
+            trajectory: 0,
+            t,
+            lat: 44.88,
+            lon: -93.20,
+            gps_accuracy_m: 2.0,
+            activity: Activity::Walking,
+            moving_speed_mps: 1.4,
+            compass_deg: 90.0,
+            throughput_mbps: thpt,
+            on_5g: true,
+            cell_id: 2,
+            lte_rsrp_dbm: -95.0,
+            nr_ssrsrp_dbm: -80.0,
+            horizontal_handoff: false,
+            vertical_handoff: false,
+            panel_distance_m: 50.0,
+            theta_p_deg: 30.0,
+            theta_m_deg: 180.0,
+            pixel_x: 1000,
+            pixel_y: 2000,
+            snapped_x_m: 1.0,
+            snapped_y_m: 2.0,
+            true_x_m: 1.0,
+            true_y_m: 2.0,
+            true_speed_mps: 1.4,
+        }
+    }
+
+    /// Harmonic has no single-row form → predict_one is None → the shard
+    /// must still answer every record (as a warm-up/None response).
+    #[test]
+    fn every_record_gets_exactly_one_response() {
+        let spec = FeatureSpec::new(FeatureSet::LM);
+        let registry = Arc::new(ModelRegistry::new(TrainedRegressor::Harmonic { window: 5 }));
+        let metrics = Arc::new(ShardMetrics::new());
+        let (tx, rx) = channel::bounded(16);
+        let (out_tx, out_rx) = channel::unbounded();
+        let m = metrics.clone();
+        let worker = std::thread::spawn(move || run_shard(0, spec, registry, rx, out_tx, m));
+        for t in 0..10 {
+            tx.send(Ingest {
+                ue: 7,
+                record: rec(1, t, 100.0),
+                enqueued: Instant::now(),
+            })
+            .unwrap();
+        }
+        drop(tx);
+        worker.join().unwrap();
+        let responses: Vec<Prediction> = out_rx.iter().collect();
+        assert_eq!(responses.len(), 10);
+        assert!(responses.iter().all(|p| p.predicted_mbps.is_none()));
+        assert!(responses.iter().all(|p| p.model_version == 1));
+        assert_eq!(metrics.warmups.load(Ordering::Relaxed), 10);
+        assert_eq!(metrics.latency.count(), 10);
+        // Responses for one UE arrive in ingest order.
+        let ts: Vec<u32> = responses.iter().map(|p| p.t).collect();
+        assert_eq!(ts, (0..10).collect::<Vec<_>>());
+    }
+}

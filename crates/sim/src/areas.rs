@@ -19,9 +19,7 @@
 
 use crate::mobility::StopPoint;
 use lumos5g_geo::{LatLon, LocalFrame, PanelPose, Point2, Polyline};
-use lumos5g_radio::{
-    LteModel, Obstacle, ObstacleMap, Panel, RadioConfig, RadioField, ShadowField,
-};
+use lumos5g_radio::{LteModel, Obstacle, ObstacleMap, Panel, RadioConfig, RadioField, ShadowField};
 
 /// Stable area identifiers (the `area` column of the dataset).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,17 +113,41 @@ pub fn intersection(seed: u64) -> Area {
     // environments — in the real downtown no two crossings look alike.
     let obstacles = ObstacleMap::from_vec(vec![
         // NE: glass high-rise, heavy loss.
-        Obstacle::Aabb { min: pt(14.0, 14.0), max: pt(140.0, 140.0), loss_db: 34.0 },
+        Obstacle::Aabb {
+            min: pt(14.0, 14.0),
+            max: pt(140.0, 140.0),
+            loss_db: 34.0,
+        },
         // NW: mid-rise with a recessed plaza near the corner.
-        Obstacle::Aabb { min: pt(-140.0, 30.0), max: pt(-26.0, 140.0), loss_db: 28.0 },
+        Obstacle::Aabb {
+            min: pt(-140.0, 30.0),
+            max: pt(-26.0, 140.0),
+            loss_db: 28.0,
+        },
         // SW: low parking structure, mmWave partially penetrates/deflects.
-        Obstacle::Aabb { min: pt(-140.0, -140.0), max: pt(-14.0, -14.0), loss_db: 18.0 },
+        Obstacle::Aabb {
+            min: pt(-140.0, -140.0),
+            max: pt(-14.0, -14.0),
+            loss_db: 18.0,
+        },
         // SE: two separate buildings with an alley between them.
-        Obstacle::Aabb { min: pt(14.0, -70.0), max: pt(140.0, -14.0), loss_db: 30.0 },
-        Obstacle::Aabb { min: pt(14.0, -140.0), max: pt(140.0, -86.0), loss_db: 30.0 },
+        Obstacle::Aabb {
+            min: pt(14.0, -70.0),
+            max: pt(140.0, -14.0),
+            loss_db: 30.0,
+        },
+        Obstacle::Aabb {
+            min: pt(14.0, -140.0),
+            max: pt(140.0, -86.0),
+            loss_db: 30.0,
+        },
         // Street furniture (bus shelter) shadows part of the east sidewalk
         // from tower A; placed clear of the tower itself.
-        Obstacle::Aabb { min: pt(8.0, 30.0), max: pt(10.5, 50.0), loss_db: 12.0 },
+        Obstacle::Aabb {
+            min: pt(8.0, 30.0),
+            max: pt(10.5, 50.0),
+            loss_db: 12.0,
+        },
     ]);
 
     // Three dual-panel towers, spread along different street legs (real
@@ -202,15 +224,27 @@ pub fn airport(seed: u64) -> Area {
 
     // Booths/open restaurants inside the corridor (Fig 11b's NLoS band).
     let obstacles = ObstacleMap::from_vec(vec![
-        Obstacle::Aabb { min: pt(-10.0, 110.0), max: pt(-1.5, 150.0), loss_db: 16.0 },
-        Obstacle::Aabb { min: pt(2.0, 170.0), max: pt(9.5, 205.0), loss_db: 16.0 },
-        Obstacle::Aabb { min: pt(-8.0, 228.0), max: pt(0.5, 243.0), loss_db: 14.0 },
+        Obstacle::Aabb {
+            min: pt(-10.0, 110.0),
+            max: pt(-1.5, 150.0),
+            loss_db: 16.0,
+        },
+        Obstacle::Aabb {
+            min: pt(2.0, 170.0),
+            max: pt(9.5, 205.0),
+            loss_db: 16.0,
+        },
+        Obstacle::Aabb {
+            min: pt(-8.0, 228.0),
+            max: pt(0.5, 243.0),
+            loss_db: 14.0,
+        },
     ]);
 
     // Two head-on single panels ~200 m apart: south faces north and vice
     // versa.
     let panels = vec![
-        Panel::new(1, PanelPose::new(pt(0.0, 60.0), 0.0)),   // south panel
+        Panel::new(1, PanelPose::new(pt(0.0, 60.0), 0.0)), // south panel
         Panel::new(2, PanelPose::new(pt(0.0, 260.0), 180.0)), // north panel
     ];
 
@@ -266,9 +300,21 @@ pub fn loop_area(seed: u64) -> Area {
     // City block inside the loop plus some outer structures; the west edge
     // borders a park (no nearby panel → weak patch).
     let obstacles = ObstacleMap::from_vec(vec![
-        Obstacle::Aabb { min: pt(25.0, 25.0), max: pt(375.0, 225.0), loss_db: 32.0 },
-        Obstacle::Aabb { min: pt(60.0, -80.0), max: pt(180.0, -20.0), loss_db: 30.0 },
-        Obstacle::Aabb { min: pt(240.0, 270.0), max: pt(340.0, 330.0), loss_db: 30.0 },
+        Obstacle::Aabb {
+            min: pt(25.0, 25.0),
+            max: pt(375.0, 225.0),
+            loss_db: 32.0,
+        },
+        Obstacle::Aabb {
+            min: pt(60.0, -80.0),
+            max: pt(180.0, -20.0),
+            loss_db: 30.0,
+        },
+        Obstacle::Aabb {
+            min: pt(240.0, 270.0),
+            max: pt(340.0, 330.0),
+            loss_db: 30.0,
+        },
     ]);
 
     // Panels serve the south, east and north streets; the west (park) edge
@@ -292,7 +338,12 @@ pub fn loop_area(seed: u64) -> Area {
 
     // The loop runs counterclockwise: south street eastward, east street
     // northward, north street westward, park edge southward.
-    let ring = vec![pt(0.0, 0.0), pt(400.0, 0.0), pt(400.0, 250.0), pt(0.0, 250.0)];
+    let ring = vec![
+        pt(0.0, 0.0),
+        pt(400.0, 0.0),
+        pt(400.0, 250.0),
+        pt(0.0, 250.0),
+    ];
     let light = |arc: f64, p: f64, wait: (u32, u32)| StopPoint {
         arc_m: arc,
         stop_probability: p,
@@ -430,10 +481,7 @@ mod tests {
     fn airport_booths_create_nlos_somewhere_mid_corridor() {
         let a = airport(1);
         // Ray from the south panel to a point shadowed by the first booth.
-        let blocked = !a
-            .field
-            .obstacles
-            .has_los(pt(0.0, 60.0), pt(-8.0, 200.0));
+        let blocked = !a.field.obstacles.has_los(pt(0.0, 60.0), pt(-8.0, 200.0));
         assert!(blocked);
     }
 }

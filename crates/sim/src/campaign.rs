@@ -34,6 +34,8 @@ pub struct CampaignConfig {
     /// Connection-manager tuning (hysteresis, gaps) — exposed for the
     /// handoff ablation study.
     pub handoff: HandoffConfig,
+    /// Signal-reporting fidelity of the logger (RSRP quantization + noise).
+    pub logger: LoggerConfig,
 }
 
 impl Default for CampaignConfig {
@@ -46,7 +48,82 @@ impl Default for CampaignConfig {
             bad_gps_fraction: 0.08,
             max_duration_s: 900,
             handoff: HandoffConfig::default(),
+            logger: LoggerConfig::default(),
         }
+    }
+}
+
+/// How faithfully the logger reports signal strength.
+///
+/// Real handsets do not expose the exact received power: modem firmware
+/// quantizes RSRP to integer dB and reports a smoothed, slightly stale
+/// value. The ideal logger made the `C` feature group unrealistically
+/// informative (DESIGN.md "known fidelity gaps"); with this knob on
+/// (the default), logged NR SS-RSRP and LTE RSRP carry AR(1)-correlated
+/// reporting noise and are quantized to `rsrp_quant_db`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoggerConfig {
+    /// Apply quantization + reporting noise to logged RSRP fields.
+    pub realistic_rsrp: bool,
+    /// Quantization step for logged RSRP, dB (3GPP reporting is 1 dB).
+    pub rsrp_quant_db: f64,
+    /// AR(1) coefficient of the reporting noise (per-second lag).
+    pub rsrp_noise_rho: f64,
+    /// Stationary standard deviation of the reporting noise, dB.
+    pub rsrp_noise_sigma_db: f64,
+}
+
+impl Default for LoggerConfig {
+    fn default() -> Self {
+        LoggerConfig {
+            realistic_rsrp: true,
+            rsrp_quant_db: 1.0,
+            rsrp_noise_rho: 0.85,
+            rsrp_noise_sigma_db: 1.2,
+        }
+    }
+}
+
+impl LoggerConfig {
+    /// The pre-PR-1 ideal logger: exact received power, no quantization.
+    pub fn ideal() -> Self {
+        LoggerConfig {
+            realistic_rsrp: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// AR(1) reporting-noise state for one logged signal field.
+struct Ar1Noise {
+    value_db: f64,
+    rho: f64,
+    innovation_sigma: f64,
+}
+
+impl Ar1Noise {
+    fn new(cfg: &LoggerConfig) -> Self {
+        Ar1Noise {
+            value_db: 0.0,
+            rho: cfg.rsrp_noise_rho,
+            // Innovation scaled so the stationary std is rsrp_noise_sigma_db.
+            innovation_sigma: cfg.rsrp_noise_sigma_db
+                * (1.0 - cfg.rsrp_noise_rho * cfg.rsrp_noise_rho).sqrt(),
+        }
+    }
+
+    fn next(&mut self, rng: &mut StdRng) -> f64 {
+        self.value_db = self.rho * self.value_db + self.innovation_sigma * gauss(rng);
+        self.value_db
+    }
+}
+
+/// Quantize a dB value to the reporting step.
+fn quantize_db(x: f64, step: f64) -> f64 {
+    if step <= 0.0 {
+        x
+    } else {
+        (x / step).round() * step
     }
 }
 
@@ -83,6 +160,11 @@ pub fn run_pass(
     let mut session = BulkSession::new(TcpConfig::iperf_default(), seed ^ 0x7C9);
     let mut mgr = ConnectionManager::new(cfg.handoff);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x6E5);
+    // Dedicated stream for reporting noise so toggling the logger's
+    // fidelity does not perturb the mobility/GPS/fading draws.
+    let mut rsrp_rng = StdRng::seed_from_u64(seed ^ 0x51A7);
+    let mut nr_noise = Ar1Noise::new(&cfg.logger);
+    let mut lte_noise = Ar1Noise::new(&cfg.logger);
 
     // Per-pass GPS quality: mostly good, sometimes degraded beyond the
     // pipeline's 5 m cutoff.
@@ -140,14 +222,31 @@ pub fn run_pass(
         let compass = normalize_deg(heading + 4.0 * gauss(&mut rng));
         let speed_report = (speed + 0.08 * gauss(&mut rng)).max(0.0);
 
-        let nr_rsrp = decision.rsrp_dbm.unwrap_or_else(|| {
+        let nr_rsrp_exact = decision.rsrp_dbm.unwrap_or_else(|| {
             signals
                 .iter()
                 .map(|s| s.rsrp_dbm)
                 .fold(f64::NEG_INFINITY, f64::max)
         });
         // LTE RSRP tracks the LTE SINR around a −95 dBm median.
-        let lte_rsrp = -95.0 + (area.lte.sinr_db(pos, 0.0) - area.lte.median_sinr_db);
+        let lte_rsrp_exact = -95.0 + (area.lte.sinr_db(pos, 0.0) - area.lte.median_sinr_db);
+
+        // What the handset actually reports: AR(1) reporting noise on top
+        // of the received power, quantized to the 3GPP reporting step.
+        let (nr_rsrp, lte_rsrp) = if cfg.logger.realistic_rsrp {
+            (
+                quantize_db(
+                    nr_rsrp_exact + nr_noise.next(&mut rsrp_rng),
+                    cfg.logger.rsrp_quant_db,
+                ),
+                quantize_db(
+                    lte_rsrp_exact + lte_noise.next(&mut rsrp_rng),
+                    cfg.logger.rsrp_quant_db,
+                ),
+            )
+        } else {
+            (nr_rsrp_exact, lte_rsrp_exact)
+        };
 
         records.push(Record {
             area: area.id.as_u8(),
@@ -206,6 +305,7 @@ mod tests {
             bad_gps_fraction: 0.0,
             max_duration_s: 600,
             handoff: HandoffConfig::default(),
+            logger: LoggerConfig::default(),
         }
     }
 
@@ -242,9 +342,7 @@ mod tests {
         let recs = run_pass(&area, 0, &small_cfg(), 0, 5);
         let mut total_err = 0.0;
         for r in &recs {
-            let reported = area
-                .frame
-                .to_local(lumos5g_geo::LatLon::new(r.lat, r.lon));
+            let reported = area.frame.to_local(lumos5g_geo::LatLon::new(r.lat, r.lon));
             total_err += reported.distance(r.true_pos());
         }
         let avg = total_err / recs.len() as f64;
@@ -279,6 +377,51 @@ mod tests {
         assert!(recs.iter().all(|r| r.activity == Activity::InVehicle));
         let vmax = recs.iter().map(|r| r.true_speed_mps).fold(0.0, f64::max);
         assert!(vmax > 5.0, "vmax = {vmax}");
+    }
+
+    #[test]
+    fn realistic_rsrp_lands_on_reporting_grid() {
+        let area = airport(1);
+        let recs = run_pass(&area, 0, &small_cfg(), 0, 17);
+        for r in &recs {
+            let q = small_cfg().logger.rsrp_quant_db;
+            let nr = r.nr_ssrsrp_dbm / q;
+            let lte = r.lte_rsrp_dbm / q;
+            assert!((nr - nr.round()).abs() < 1e-9, "nr {}", r.nr_ssrsrp_dbm);
+            assert!((lte - lte.round()).abs() < 1e-9, "lte {}", r.lte_rsrp_dbm);
+        }
+    }
+
+    #[test]
+    fn ideal_logger_differs_only_in_rsrp() {
+        let area = airport(1);
+        let realistic = run_pass(&area, 0, &small_cfg(), 0, 23);
+        let ideal_cfg = CampaignConfig {
+            logger: LoggerConfig::ideal(),
+            ..small_cfg()
+        };
+        let ideal = run_pass(&area, 0, &ideal_cfg, 0, 23);
+        assert_eq!(realistic.len(), ideal.len());
+        let mut rsrp_diffs = 0usize;
+        for (a, b) in realistic.iter().zip(&ideal) {
+            // The logger stream is isolated: everything but the RSRP columns
+            // must be byte-identical between fidelity settings.
+            assert_eq!(a.throughput_mbps, b.throughput_mbps);
+            assert_eq!((a.lat, a.lon), (b.lat, b.lon));
+            assert_eq!(a.cell_id, b.cell_id);
+            assert_eq!(a.true_speed_mps, b.true_speed_mps);
+            if a.nr_ssrsrp_dbm != b.nr_ssrsrp_dbm {
+                rsrp_diffs += 1;
+            }
+            // Reporting error = noise + quantization; stationary sigma 1.2 dB
+            // with half-step rounding stays well inside 10 dB.
+            assert!((a.nr_ssrsrp_dbm - b.nr_ssrsrp_dbm).abs() < 10.0);
+        }
+        assert!(
+            rsrp_diffs > realistic.len() / 2,
+            "only {rsrp_diffs}/{} records differ in RSRP",
+            realistic.len()
+        );
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! equal-airtime scheduling splits the panel among attached UEs.
 
 use crate::areas::Area;
+use lumos5g_geo::Point2;
 use lumos5g_net::{BulkSession, PanelScheduler, TcpConfig};
 use lumos5g_radio::{FastFading, TransportMode, UeState};
-use lumos5g_geo::Point2;
 
 /// Configuration of the staggered-start experiment.
 #[derive(Debug, Clone, Copy)]
@@ -57,7 +57,8 @@ pub fn run_congestion_experiment(area: &Area, cfg: &CongestionConfig) -> Congest
         .map(|i| FastFading::mmwave_default(cfg.seed.wrapping_add(100 + i as u64)))
         .collect();
 
-    let mut timelines: CongestionTimelines = vec![Vec::with_capacity(cfg.total_s as usize); cfg.n_ues];
+    let mut timelines: CongestionTimelines =
+        vec![Vec::with_capacity(cfg.total_s as usize); cfg.n_ues];
     for t in 0..cfg.total_s {
         let mut sched = PanelScheduler::new();
         // Which UEs are active this second?

@@ -38,7 +38,7 @@ pub mod quality;
 pub mod record;
 
 pub use areas::{airport, intersection, loop_area, Area, AreaId};
-pub use campaign::{run_campaign, run_pass, CampaignConfig};
-pub use mobility::{MobilityModel, MobilityMode};
+pub use campaign::{run_campaign, run_pass, CampaignConfig, LoggerConfig};
+pub use mobility::{MobilityMode, MobilityModel};
 pub use quality::{QualityConfig, QualityReport};
 pub use record::{Activity, Dataset, Record};

@@ -49,7 +49,9 @@ pub enum MobilityMode {
 impl MobilityMode {
     /// Default walking mode (1.4 m/s ≈ 5 km/h).
     pub fn walking() -> Self {
-        MobilityMode::Walking { base_speed_mps: 1.4 }
+        MobilityMode::Walking {
+            base_speed_mps: 1.4,
+        }
     }
 
     /// Default driving mode (0–45 km/h like the paper's Loop tests).
@@ -160,7 +162,11 @@ impl MobilityModel {
         }
 
         // Approach control: brake if an armed stop is within braking range.
-        let next_stop = self.armed_stops.iter().find(|&&(a, _)| a > self.arc_m).copied();
+        let next_stop = self
+            .armed_stops
+            .iter()
+            .find(|&&(a, _)| a > self.arc_m)
+            .copied();
         let mut target = self.target_mps;
         if let Some((stop_arc, wait)) = next_stop {
             let dist = stop_arc - self.arc_m;

@@ -50,7 +50,11 @@ pub struct QualityReport {
 
 /// Apply the pipeline. `frame` is the area's local frame (needed to convert
 /// pixel centers back to analysis coordinates).
-pub fn apply(dataset: &Dataset, frame: &LocalFrame, cfg: &QualityConfig) -> (Dataset, QualityReport) {
+pub fn apply(
+    dataset: &Dataset,
+    frame: &LocalFrame,
+    cfg: &QualityConfig,
+) -> (Dataset, QualityReport) {
     // Mean reported accuracy per pass.
     let mut acc_sum: HashMap<(u32, u32), (f64, usize)> = HashMap::new();
     for r in &dataset.records {
@@ -105,6 +109,7 @@ mod tests {
             bad_gps_fraction,
             max_duration_s: 400,
             handoff: Default::default(),
+            logger: Default::default(),
         };
         (run_campaign(&area, &cfg), area.frame)
     }

@@ -142,8 +142,36 @@ impl Dataset {
         self.records.is_empty()
     }
 
-    /// Append another dataset.
-    pub fn extend(&mut self, other: Dataset) {
+    /// Append another dataset, keeping pass identities distinct.
+    ///
+    /// Grouping throughout the workspace keys traces by `(trajectory,
+    /// pass_id)` *without* the area — so merging campaigns from two areas
+    /// (whose pass ids both start at 0) used to silently splice unrelated
+    /// passes into one trace. When any incoming key collides with an
+    /// existing one, every incoming `pass_id` is shifted past the current
+    /// maximum, which preserves the other dataset's internal pass structure
+    /// while guaranteeing global uniqueness.
+    pub fn extend(&mut self, mut other: Dataset) {
+        let existing: std::collections::HashSet<(u32, u32)> = self
+            .records
+            .iter()
+            .map(|r| (r.trajectory, r.pass_id))
+            .collect();
+        let collides = other
+            .records
+            .iter()
+            .any(|r| existing.contains(&(r.trajectory, r.pass_id)));
+        if collides {
+            let offset = self
+                .records
+                .iter()
+                .map(|r| r.pass_id)
+                .max()
+                .map_or(0, |m| m + 1);
+            for r in &mut other.records {
+                r.pass_id += offset;
+            }
+        }
         self.records.extend(other.records);
     }
 
@@ -273,7 +301,11 @@ impl Dataset {
             }
             let f: Vec<&str> = line.split(',').collect();
             if f.len() != 27 {
-                return Err(format!("line {}: expected 27 fields, got {}", lineno + 2, f.len()));
+                return Err(format!(
+                    "line {}: expected 27 fields, got {}",
+                    lineno + 2,
+                    f.len()
+                ));
             }
             let err = |what: &str| format!("line {}: bad {}", lineno + 2, what);
             records.push(Record {
@@ -405,6 +437,45 @@ mod tests {
         let ds = Dataset::new(vec![a, b]);
         let cells = ds.throughput_by_cell_and_direction(&grid);
         assert_eq!(cells.len(), 2);
+    }
+
+    #[test]
+    fn extend_keeps_cross_area_passes_distinct() {
+        // Two areas, both with pass_id 0 on trajectory 2: before the fix the
+        // merged dataset spliced them into one (2, 0) trace.
+        let mut a0 = dummy(0, 10.0);
+        a0.pass_id = 0;
+        let mut a1 = dummy(1, 11.0);
+        a1.pass_id = 0;
+        let mut downtown = Dataset::new(vec![a0, a1]);
+
+        let mut b0 = dummy(0, 20.0);
+        b0.pass_id = 0;
+        b0.area = 1;
+        let mut b1 = dummy(1, 21.0);
+        b1.pass_id = 0;
+        b1.area = 1;
+        let airport = Dataset::new(vec![b0, b1]);
+
+        downtown.extend(airport);
+        let traces = downtown.traces();
+        assert_eq!(traces.len(), 2, "colliding passes merged: {traces:?}");
+        let mut lens: Vec<usize> = traces.values().map(Vec::len).collect();
+        lens.sort_unstable();
+        assert_eq!(lens, vec![2, 2]);
+        assert_eq!(traces[&(2, 0)], vec![10.0, 11.0]);
+        assert_eq!(traces[&(2, 1)], vec![20.0, 21.0]);
+    }
+
+    #[test]
+    fn extend_without_collisions_is_identity_append() {
+        let mut a = Dataset::new(vec![dummy(0, 10.0)]);
+        let mut b0 = dummy(0, 20.0);
+        b0.pass_id = 7;
+        a.extend(Dataset::new(vec![b0]));
+        // No collision → pass ids untouched.
+        assert_eq!(a.records[1].pass_id, 7);
+        assert_eq!(a.traces().len(), 2);
     }
 
     #[test]

@@ -119,7 +119,10 @@ mod tests {
 
     #[test]
     fn pearson_rejects_constant_input() {
-        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), Err(StatsError::ZeroVariance));
+        assert_eq!(
+            pearson(&[1.0, 1.0], &[1.0, 2.0]),
+            Err(StatsError::ZeroVariance)
+        );
     }
 
     #[test]

@@ -49,8 +49,7 @@ pub fn welch_t_test(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
     }
     let t = (mx - my) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / ((vx / nx).powi(2) / (nx - 1.0) + (vy / ny).powi(2) / (ny - 1.0));
+    let df = se2 * se2 / ((vx / nx).powi(2) / (nx - 1.0) + (vy / ny).powi(2) / (ny - 1.0));
     Ok(TestResult {
         statistic: t,
         p_value: student_t_two_sided_p(t, df),
@@ -169,7 +168,8 @@ fn kurtosis_test_z(xs: &[f64]) -> Result<f64> {
     let x = (b2 - eb2) / vb2.sqrt();
     let sqrt_beta1 = 6.0 * (n * n - 5.0 * n + 2.0) / ((n + 7.0) * (n + 9.0))
         * (6.0 * (n + 3.0) * (n + 5.0) / (n * (n - 2.0) * (n - 3.0))).sqrt();
-    let a = 6.0 + 8.0 / sqrt_beta1 * (2.0 / sqrt_beta1 + (1.0 + 4.0 / (sqrt_beta1 * sqrt_beta1)).sqrt());
+    let a = 6.0
+        + 8.0 / sqrt_beta1 * (2.0 / sqrt_beta1 + (1.0 + 4.0 / (sqrt_beta1 * sqrt_beta1)).sqrt());
     let term = (1.0 - 2.0 / a) / (1.0 + x * (2.0 / (a - 4.0)).sqrt());
     let z = ((1.0 - 2.0 / (9.0 * a)) - term.cbrt()) / (2.0 / (9.0 * a)).sqrt();
     Ok(z)
@@ -316,9 +316,7 @@ mod tests {
     #[test]
     fn dagostino_rejects_exponential_shape() {
         // Exponential quantiles are strongly skewed.
-        let xs: Vec<f64> = (1..=200)
-            .map(|i| -((1.0 - i as f64 / 201.0) as f64).ln())
-            .collect();
+        let xs: Vec<f64> = (1..=200).map(|i| -(1.0 - i as f64 / 201.0).ln()).collect();
         let r = dagostino_pearson(&xs).unwrap();
         assert!(r.p_value < 1e-4, "p = {}", r.p_value);
     }
@@ -347,9 +345,7 @@ mod tests {
     fn either_normality_matches_components() {
         let xs = normal_scores(100, 0.0, 1.0);
         assert!(passes_either_normality(&xs, 0.001));
-        let expo: Vec<f64> = (1..=100)
-            .map(|i| -((1.0 - i as f64 / 101.0) as f64).ln())
-            .collect();
+        let expo: Vec<f64> = (1..=100).map(|i| -(1.0 - i as f64 / 101.0).ln()).collect();
         assert!(!passes_either_normality(&expo, 0.05));
     }
 }

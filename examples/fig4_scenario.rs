@@ -62,7 +62,11 @@ fn main() {
     println!("{:>8} {:>14}", "x (m)", "expected Mbps");
     for xs in (20..400).step_by(40) {
         if let Some(v) = walk_map.conical_query(xs as f64, 0.0, 90.0, 25.0, 50.0) {
-            let marker = if v < 300.0 { "  ← pre-buffer here" } else { "" };
+            let marker = if v < 300.0 {
+                "  ← pre-buffer here"
+            } else {
+                ""
+            };
             println!("{:>8} {:>14.0}{marker}", xs, v);
         }
     }

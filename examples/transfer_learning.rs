@@ -26,7 +26,10 @@ fn main() {
     println!("testing on SOUTH-panel samples the model never saw.\n");
 
     let r = panel_transfer(&data, 2, 1, &quick_gbdt(), 25.0).expect("enough samples");
-    println!("overall weighted-F1 on the unseen panel : {:.2}", r.overall_f1);
+    println!(
+        "overall weighted-F1 on the unseen panel : {:.2}",
+        r.overall_f1
+    );
     println!(
         "weighted-F1 within {:.0} m of the panel    : {:.2}  ({} samples)",
         r.near_radius_m, r.near_f1, r.n_near
@@ -34,7 +37,10 @@ fn main() {
 
     // Control: train and test on the same (south) panel.
     let control = panel_transfer(&data, 1, 1, &quick_gbdt(), 25.0).expect("enough samples");
-    println!("same-panel control weighted-F1          : {:.2}", control.overall_f1);
+    println!(
+        "same-panel control weighted-F1          : {:.2}",
+        control.overall_f1
+    );
 
     println!(
         "\nPaper §6.2 reports 0.71 overall rising to 0.91 near-field —\n\

@@ -53,8 +53,13 @@ fn kriging_is_the_weakest_location_model() {
     // §7: geospatial interpolation cannot cope with mmWave discontinuities;
     // Table 9 shows OK worst on L.
     let data = airport_data(103);
-    let ok = regression_eval(&data, FeatureSet::L, &ModelKind::Kriging { neighbors: 16 }, 1)
-        .unwrap();
+    let ok = regression_eval(
+        &data,
+        FeatureSet::L,
+        &ModelKind::Kriging { neighbors: 16 },
+        1,
+    )
+    .unwrap();
     let gbdt = regression_eval(&data, FeatureSet::L, &ModelKind::Gdbt(quick_gbdt()), 1).unwrap();
     assert!(
         ok.rmse >= gbdt.rmse * 0.95,
@@ -74,7 +79,10 @@ fn feature_sets_order_as_in_table8() {
     let lm = regression_eval(&data, FeatureSet::LM, &m, 1).unwrap().mae;
     let lmc = regression_eval(&data, FeatureSet::LMC, &m, 1).unwrap().mae;
     assert!(lm < l, "L+M ({lm:.0}) must beat L ({l:.0})");
-    assert!(lmc < lm * 1.1, "L+M+C ({lmc:.0}) should not regress vs L+M ({lm:.0})");
+    assert!(
+        lmc < lm * 1.1,
+        "L+M+C ({lmc:.0}) should not regress vs L+M ({lm:.0})"
+    );
 }
 
 #[test]
@@ -98,9 +106,13 @@ fn classification_scores_reach_paper_band() {
     // Table 7: with mobility features the weighted-F1 is consistently high
     // (paper ≥0.89 at full campaign scale; require ≥0.8 at test scale).
     let data = airport_data(106);
-    let out = classification_eval(&data, FeatureSet::LM, &ModelKind::Gdbt(quick_gbdt()), 1)
-        .unwrap();
-    assert!(out.weighted_f1 > 0.8, "weighted F1 = {:.2}", out.weighted_f1);
+    let out =
+        classification_eval(&data, FeatureSet::LM, &ModelKind::Gdbt(quick_gbdt()), 1).unwrap();
+    assert!(
+        out.weighted_f1 > 0.8,
+        "weighted F1 = {:.2}",
+        out.weighted_f1
+    );
     assert!(out.low_recall > 0.7, "low recall = {:.2}", out.low_recall);
 }
 

@@ -3,7 +3,9 @@
 //! allow models to train.
 
 use lumos5g_geo::GridIndex;
-use lumos5g_sim::{airport, loop_area, quality, run_campaign, CampaignConfig, Dataset, MobilityMode};
+use lumos5g_sim::{
+    airport, loop_area, quality, run_campaign, CampaignConfig, Dataset, MobilityMode,
+};
 use lumos5g_stats as stats;
 use lumos5g_stats::htest;
 
@@ -78,18 +80,27 @@ fn direction_conditioning_raises_trace_correlation() {
     // directions do not.
     let (data, _) = campaign(203, MobilityMode::walking(), 8);
     let traces = data.traces();
-    let nb: Vec<&Vec<f64>> = traces.iter().filter(|((t, _), _)| *t == 0).map(|(_, v)| v).collect();
-    let sb: Vec<&Vec<f64>> = traces.iter().filter(|((t, _), _)| *t == 1).map(|(_, v)| v).collect();
+    let nb: Vec<&Vec<f64>> = traces
+        .iter()
+        .filter(|((t, _), _)| *t == 0)
+        .map(|(_, v)| v)
+        .collect();
+    let sb: Vec<&Vec<f64>> = traces
+        .iter()
+        .filter(|((t, _), _)| *t == 1)
+        .map(|(_, v)| v)
+        .collect();
 
-    let resample = |tr: &[f64]| -> Vec<f64> {
-        (0..100)
-            .map(|i| tr[i * (tr.len() - 1) / 99])
-            .collect()
-    };
+    let resample =
+        |tr: &[f64]| -> Vec<f64> { (0..100).map(|i| tr[i * (tr.len() - 1) / 99]).collect() };
     let mut same = Vec::new();
     for i in 0..nb.len() {
         for j in (i + 1)..nb.len() {
-            same.push(stats::spearman(&resample(nb[i]), &resample(nb[j])).unwrap().rho);
+            same.push(
+                stats::spearman(&resample(nb[i]), &resample(nb[j]))
+                    .unwrap()
+                    .rho,
+            );
         }
     }
     let mut cross = Vec::new();
@@ -105,7 +116,10 @@ fn direction_conditioning_raises_trace_correlation() {
         "same-direction ρ {same_mean:.2} should dominate cross ρ {cross_mean:.2}"
     );
     assert!(same_mean > 0.5, "same-direction ρ {same_mean:.2} too low");
-    assert!(cross_mean.abs() < 0.35, "cross-direction ρ {cross_mean:.2} too high");
+    assert!(
+        cross_mean.abs() < 0.35,
+        "cross-direction ρ {cross_mean:.2} too high"
+    );
 }
 
 #[test]
@@ -147,7 +161,10 @@ fn driving_fast_degrades_throughput_but_walking_does_not() {
         "fast driving {drive_fast:.0} should be well below slow {drive_slow:.0}"
     );
     // Paper: fast driving falls to 4G-like 60–164 Mbps.
-    assert!(drive_fast < 350.0, "fast driving median {drive_fast:.0} too high");
+    assert!(
+        drive_fast < 350.0,
+        "fast driving median {drive_fast:.0} too high"
+    );
 
     // Free-flow walking bins (slower bins are dominated by the few seconds
     // of accel/decel next to stop points, a location artifact).

@@ -1,0 +1,228 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the macro + builder surface the workspace's benches use
+//! (`criterion_group!` with `name/config/targets`, `criterion_main!`,
+//! `Criterion::default().sample_size(..).measurement_time(..)
+//! .warm_up_time(..)`, `bench_function`, `Bencher::iter`/`iter_batched`,
+//! `BatchSize`, `black_box`). Reports mean ns/iter to stdout — no plots,
+//! no statistics beyond mean/min/max, but honest wall-clock timing.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How much setup output an `iter_batched` batch amortizes (accepted for
+/// API compatibility; the stub always runs batches of one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark harness configuration + runner.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for measurement.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for warm-up.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Accepted for API compatibility with `criterion_group!`-generated
+    /// main functions; CLI arguments are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples_ns: Vec::new(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut b);
+        if b.samples_ns.is_empty() {
+            println!("bench {id:<44} (no samples)");
+            return self;
+        }
+        let n = b.samples_ns.len() as f64;
+        let mean = b.samples_ns.iter().sum::<f64>() / n;
+        let min = b.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = b.samples_ns.iter().cloned().fold(0.0, f64::max);
+        println!(
+            "bench {id:<44} {:>12} ns/iter (min {:>12}, max {:>12}, {} samples)",
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+            b.samples_ns.len()
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3}ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3}µs", ns / 1e3)
+    } else {
+        format!("{ns:.1}ns")
+    }
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: how many iterations fit the warm-up budget?
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let iters_per_sample =
+            ((budget_ns / self.sample_size as f64 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+
+    /// Time `routine` on fresh inputs produced by `setup` (setup excluded
+    /// from the timing).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: one run.
+        let input = setup();
+        let warm_start = Instant::now();
+        black_box(routine(input));
+        let per_iter = warm_start.elapsed().as_nanos() as f64;
+        let budget_ns = self.measurement_time.as_nanos() as f64;
+        let iters_per_sample =
+            ((budget_ns / self.sample_size as f64 / per_iter.max(1.0)).ceil() as u64).max(1);
+
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters_per_sample as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+/// Define a named group of benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_input() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,354 @@
+//! Offline stand-in for `crossbeam`: the `channel` module only.
+//!
+//! Implements multi-producer multi-consumer bounded/unbounded channels on a
+//! `Mutex<VecDeque>` + two condvars. Not lock-free like the real crate, but
+//! API-compatible for the subset the workspace uses and easily fast enough
+//! for per-event serving work (µs-scale critical sections).
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        capacity: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Sending half; clonable (MPMC).
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half; clonable (MPMC).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The channel is disconnected (no receivers left).
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Why a `try_send` failed.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// Bounded queue at capacity.
+        Full(T),
+        /// No receivers left.
+        Disconnected(T),
+    }
+
+    /// All senders dropped and the queue is drained.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a `try_recv` failed.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Queue currently empty.
+        Empty,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    /// Why a `recv_timeout` failed.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Deadline elapsed with no message.
+        Timeout,
+        /// All senders dropped and the queue is drained.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Create a bounded channel with the given capacity (`cap >= 1`).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        make(Some(cap.max(1)))
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make(None)
+    }
+
+    fn make<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Wake receivers blocked on an empty queue so they observe
+                // the disconnect.
+                let _guard = self.inner.queue.lock().unwrap();
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+                let _guard = self.inner.queue.lock().unwrap();
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send; fails only when every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut q = self.inner.queue.lock().unwrap();
+            loop {
+                if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                    return Err(SendError(msg));
+                }
+                match self.inner.capacity {
+                    Some(cap) if q.len() >= cap => {
+                        q = self.inner.not_full.wait(q).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            q.push_back(msg);
+            drop(q);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut q = self.inner.queue.lock().unwrap();
+            if self.inner.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.inner.capacity {
+                if q.len() >= cap {
+                    return Err(TrySendError::Full(msg));
+                }
+            }
+            q.push_back(msg);
+            drop(q);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap().len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; fails when all senders dropped and drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut q = self.inner.queue.lock().unwrap();
+            loop {
+                if let Some(msg) = q.pop_front() {
+                    drop(q);
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                q = self.inner.not_empty.wait(q).unwrap();
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut q = self.inner.queue.lock().unwrap();
+            if let Some(msg) = q.pop_front() {
+                drop(q);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receive with a deadline.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut q = self.inner.queue.lock().unwrap();
+            loop {
+                if let Some(msg) = q.pop_front() {
+                    drop(q);
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, res) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(q, deadline - now)
+                    .unwrap();
+                q = guard;
+                if res.timed_out() && q.is_empty() {
+                    if self.inner.senders.load(Ordering::SeqCst) == 0 {
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().unwrap().len()
+        }
+
+        /// True when no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Iterate until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::thread;
+
+        #[test]
+        fn fifo_per_sender() {
+            let (tx, rx) = unbounded();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..100 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn bounded_try_send_fills() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.try_recv().unwrap(), 1);
+            tx.try_send(3).unwrap();
+        }
+
+        #[test]
+        fn disconnect_on_sender_drop() {
+            let (tx, rx) = unbounded::<u32>();
+            tx.send(5).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv().unwrap(), 5);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn disconnect_on_receiver_drop() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert!(matches!(tx.send(1), Err(SendError(1))));
+        }
+
+        #[test]
+        fn cross_thread_transfer() {
+            let (tx, rx) = bounded(8);
+            let h = thread::spawn(move || {
+                let mut sum = 0u64;
+                while let Ok(v) = rx.recv() {
+                    sum += v;
+                }
+                sum
+            });
+            for i in 1..=1000u64 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            assert_eq!(h.join().unwrap(), 500_500);
+        }
+
+        #[test]
+        fn recv_timeout_expires() {
+            let (_tx, rx) = bounded::<u32>(1);
+            let err = rx.recv_timeout(Duration::from_millis(20)).unwrap_err();
+            assert_eq!(err, RecvTimeoutError::Timeout);
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Value-generation strategies (no shrinking).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map the generated value through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Build a second strategy from the generated value and draw from it —
+    /// the canonical way to generate dependent shapes (e.g. equal-length
+    /// vector pairs).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (bounded retries).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            pred,
+            whence,
+        }
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        let seed = self.source.generate(rng);
+        (self.f)(seed).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.source.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter exhausted retries: {}", self.whence);
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 strategy range");
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        rng.gen_range(self.start as f64..self.end as f64) as f32
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty integer strategy range");
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+/// String-pattern strategy for the subset of regexes the workspace uses.
+///
+/// Upstream proptest interprets a `&str` strategy as a full regex; here only
+/// `X{lo,hi}` repetition of a single-char class is supported, where `X` is
+/// `.` (printable ASCII plus occasional `\n`/`,` to exercise parsers) or a
+/// literal character. Anything else is generated as the literal pattern.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        if let Some((class, lo, hi)) = parse_repeat(self) {
+            let n = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+            (0..n)
+                .map(|_| match class {
+                    '.' => {
+                        // Mostly printable ASCII; sprinkle structural chars so
+                        // line/field-oriented parsers see real edge cases.
+                        match rng.gen_range(0u32..20) {
+                            0 => '\n',
+                            1 => ',',
+                            _ => char::from(rng.gen_range(0x20u8..0x7F)),
+                        }
+                    }
+                    c => c,
+                })
+                .collect()
+        } else {
+            (*self).to_string()
+        }
+    }
+}
+
+/// Parse `X{lo,hi}` → (class char, lo, hi). Returns None for other shapes.
+fn parse_repeat(pat: &str) -> Option<(char, usize, usize)> {
+    let mut chars = pat.chars();
+    let class = chars.next()?;
+    let rest = chars.as_str();
+    let inner = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = inner.split_once(',')?;
+    Some((class, lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Element-count specification for [`vec`]: a fixed size or a half-open
+/// range of sizes.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with sizes drawn from a [`SizeRange`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = if self.size.hi - self.size.lo <= 1 {
+            self.size.lo
+        } else {
+            rng.gen_range(self.size.lo..self.size.hi)
+        };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, size)` — vectors of generated elements.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,124 @@
+//! Case runner: deterministic seeding, reject accounting, failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// Assertion failure — the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs — try another case.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Runner configuration (subset of upstream's `Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Bail out after this many `prop_assume!` rejections in total.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Run exactly `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed so failures reproduce
+/// across runs and machines.
+fn seed_of(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Drive one property: repeatedly generate inputs and evaluate `case`
+/// until `config.cases` successes. Panics on the first failure.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let mut rng = StdRng::seed_from_u64(seed_of(name));
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    while passed < config.cases {
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "property `{name}`: too many prop_assume! rejections \
+                         ({rejected}) after {passed} passing cases"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("property `{name}` failed after {passed} passing cases: {msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run(&ProptestConfig::with_cases(10), "t", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn rejects_do_not_count() {
+        let mut calls = 0;
+        run(&ProptestConfig::with_cases(5), "t", |_| {
+            calls += 1;
+            if calls % 2 == 0 {
+                Err(TestCaseError::Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(calls > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    fn failure_panics() {
+        run(&ProptestConfig::with_cases(5), "t", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}
