@@ -7,8 +7,14 @@
 //!
 //! Outputs are printed and saved as CSV under `results/`. See DESIGN.md for
 //! the experiment index and EXPERIMENTS.md for paper-vs-measured numbers.
+//!
+//! `--save-models DIR` persists each experiment's fitted GDBT model as
+//! `DIR/{experiment_key}.l5gm`; a later run with `--load-models DIR` skips
+//! those fits and produces bit-identical outputs from the saved models.
 
-use lumos5g_bench::experiments::{ablate, context::Context, context::Scale, impact, mlres};
+use lumos5g_bench::experiments::context::{Context, ModelStore, Scale};
+use lumos5g_bench::experiments::{ablate, impact, mlres};
+use std::path::PathBuf;
 
 type Runner = fn(&mut Context) -> String;
 
@@ -119,7 +125,10 @@ const EXPERIMENTS: &[(&str, &str, Runner)] = &[
 ];
 
 fn usage() -> ! {
-    eprintln!("usage: repro <experiment|all|list> [--scale quick|std|paper] [--seed N]\n");
+    eprintln!(
+        "usage: repro <experiment|all|list> [--scale quick|std|paper] [--seed N] \
+         [--save-models DIR] [--load-models DIR]\n"
+    );
     eprintln!("experiments:");
     for (name, desc, _) in EXPERIMENTS {
         eprintln!("  {name:<10} {desc}");
@@ -134,6 +143,8 @@ fn main() {
     }
     let mut scale = Scale::Std;
     let mut seed = 42u64;
+    let mut save_models: Option<PathBuf> = None;
+    let mut load_models: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -152,9 +163,21 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--save-models" => {
+                i += 1;
+                save_models = Some(args.get(i).map(PathBuf::from).unwrap_or_else(|| usage()));
+            }
+            "--load-models" => {
+                i += 1;
+                load_models = Some(args.get(i).map(PathBuf::from).unwrap_or_else(|| usage()));
+            }
             other => targets.push(other.to_string()),
         }
         i += 1;
+    }
+    if save_models.is_some() && load_models.is_some() {
+        eprintln!("--save-models and --load-models are mutually exclusive\n");
+        usage();
     }
     if targets.iter().any(|t| t == "list") {
         usage();
@@ -162,6 +185,11 @@ fn main() {
 
     let run_all = targets.iter().any(|t| t == "all");
     let mut ctx = Context::new(scale, seed);
+    ctx.models = match (save_models, load_models) {
+        (Some(dir), _) => Some(ModelStore { dir, load: false }),
+        (None, Some(dir)) => Some(ModelStore { dir, load: true }),
+        (None, None) => None,
+    };
     let mut ran = 0;
     for (name, desc, runner) in EXPERIMENTS {
         if run_all || targets.iter().any(|t| t == name) {

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! cargo run --release -p lumos5g-bench --bin serve_bench -- \
-//!     [--shards N] [--ues N] [--rounds N] [--seed N] [--quick]
+//!     [--shards N] [--ues N] [--rounds N] [--seed N] [--quick] \
+//!     [--save-models DIR] [--load-models DIR]
 //! ```
 //!
 //! Simulates a campaign, trains a GDBT (L+M) regressor, replays the
@@ -10,13 +11,21 @@
 //! and reports sustained predictions/sec plus end-to-end tail latency.
 //! Results are printed and saved to `results/serving.csv` /
 //! `results/serving_shards.csv`.
+//!
+//! `--save-models DIR` writes the served model to `DIR/model-v1.l5gm`;
+//! `--load-models DIR` cold-starts from the highest version saved there
+//! and skips training entirely — the loaded model is bit-identical.
 
 use lumos5g::{quick_gbdt, FeatureSet, Lumos5G, ModelKind};
 use lumos5g_bench::TableWriter;
-use lumos5g_serve::{Engine, EngineConfig, OverloadPolicy, ReplaySource};
+use lumos5g_serve::{Engine, EngineConfig, ModelRegistry, OverloadPolicy, ReplaySource};
 use lumos5g_sim::{airport, quality, run_campaign, CampaignConfig};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
+
+const USAGE: &str = "usage: serve_bench [--shards N] [--ues N] [--rounds N] [--seed N] \
+                     [--quick] [--save-models DIR] [--load-models DIR]";
 
 struct Args {
     shards: usize,
@@ -24,6 +33,8 @@ struct Args {
     rounds: usize,
     seed: u64,
     quick: bool,
+    save_models: Option<PathBuf>,
+    load_models: Option<PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -33,13 +44,20 @@ fn parse_args() -> Args {
         rounds: 8,
         seed: 42,
         quick: false,
+        save_models: None,
+        load_models: None,
     };
     fn numeric(argv: &[String], i: usize, name: &str) -> u64 {
         argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
             eprintln!("{name} needs a numeric value");
-            eprintln!(
-                "usage: serve_bench [--shards N] [--ues N] [--rounds N] [--seed N] [--quick]"
-            );
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        })
+    }
+    fn dir(argv: &[String], i: usize, name: &str) -> PathBuf {
+        argv.get(i).map(PathBuf::from).unwrap_or_else(|| {
+            eprintln!("{name} needs a directory path");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         })
     }
@@ -64,11 +82,17 @@ fn parse_args() -> Args {
                 args.seed = numeric(&argv, i, "--seed");
             }
             "--quick" => args.quick = true,
+            "--save-models" => {
+                i += 1;
+                args.save_models = Some(dir(&argv, i, "--save-models"));
+            }
+            "--load-models" => {
+                i += 1;
+                args.load_models = Some(dir(&argv, i, "--load-models"));
+            }
             other => {
                 eprintln!("unknown argument {other}");
-                eprintln!(
-                    "usage: serve_bench [--shards N] [--ues N] [--rounds N] [--seed N] [--quick]"
-                );
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }
@@ -101,10 +125,34 @@ fn main() {
     let raw = run_campaign(&area, &cfg);
     let (data, _) = quality::apply(&raw, &area.frame, &Default::default());
 
-    eprintln!("training GDBT (L+M) on {} records...", data.len());
-    let model = Lumos5G::new(FeatureSet::LM, ModelKind::Gdbt(quick_gbdt()))
-        .fit_regression(&data)
-        .expect("training failed");
+    let registry = match &args.load_models {
+        Some(load_dir) => {
+            eprintln!("cold start: loading model from {}...", load_dir.display());
+            let registry = ModelRegistry::load_dir(load_dir).unwrap_or_else(|e| {
+                eprintln!("failed to load models from {}: {e}", load_dir.display());
+                std::process::exit(2);
+            });
+            eprintln!(
+                "serving saved model v{} (no retraining)",
+                registry.version()
+            );
+            registry
+        }
+        None => {
+            eprintln!("training GDBT (L+M) on {} records...", data.len());
+            let model = Lumos5G::new(FeatureSet::LM, ModelKind::Gdbt(quick_gbdt()))
+                .fit_regression(&data)
+                .expect("training failed");
+            ModelRegistry::new(model)
+        }
+    };
+    if let Some(save_dir) = &args.save_models {
+        let path = registry.store(save_dir).unwrap_or_else(|e| {
+            eprintln!("failed to save model to {}: {e}", save_dir.display());
+            std::process::exit(2);
+        });
+        eprintln!("saved model to {}", path.display());
+    }
 
     let src = ReplaySource::from_dataset(&data, args.ues);
     eprintln!(
@@ -115,8 +163,8 @@ fn main() {
         args.shards
     );
 
-    let engine = Engine::start(
-        model,
+    let engine = Engine::start_with_registry(
+        Arc::new(registry),
         EngineConfig {
             shards: args.shards,
             queue_capacity: 1024,

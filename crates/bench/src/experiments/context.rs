@@ -2,14 +2,16 @@
 //! datasets so that running `repro all` builds each campaign exactly once.
 
 use lumos5g::eval::{eval_both, ClassificationOutcome, RegressionOutcome};
-use lumos5g::features::FeatureSet;
-use lumos5g::predictor::{ModelKind, Seq2SeqParams};
-use lumos5g_ml::GbdtConfig;
+use lumos5g::features::{FeatureSet, FeatureSpec};
+use lumos5g::persist;
+use lumos5g::predictor::{ModelKind, Seq2SeqParams, TrainedRegressor};
+use lumos5g_ml::{GbdtConfig, GbdtRegressor};
 use lumos5g_sim::{
     airport, intersection, loop_area, quality, run_campaign, Area, CampaignConfig, Dataset,
     MobilityMode,
 };
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 /// Experiment scale: trades fidelity for wall-clock time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,12 +107,24 @@ impl Scale {
     }
 }
 
+/// Where `repro` persists fitted experiment models (`--save-models` /
+/// `--load-models`): each experiment writes `{key}.l5gm` under `dir`.
+#[derive(Debug, Clone)]
+pub struct ModelStore {
+    /// Directory holding `{key}.l5gm` files.
+    pub dir: PathBuf,
+    /// `true` → cold start: load saved models instead of refitting.
+    pub load: bool,
+}
+
 /// Lazily built simulation datasets shared across experiments.
 pub struct Context {
     /// Chosen scale.
     pub scale: Scale,
     /// Master seed.
     pub seed: u64,
+    /// Optional model persistence (None → always fit in memory).
+    pub models: Option<ModelStore>,
     areas: Option<(Area, Area, Area)>,
     intersection_walk: Option<Dataset>,
     airport_walk: Option<Dataset>,
@@ -126,6 +140,7 @@ impl Context {
         Context {
             scale,
             seed,
+            models: None,
             areas: None,
             intersection_walk: None,
             airport_walk: None,
@@ -133,6 +148,48 @@ impl Context {
             loop_drive: None,
             eval_cache: HashMap::new(),
         }
+    }
+
+    /// Fit a GDBT regressor — or, when [`Self::models`] is configured,
+    /// save it after fitting (`load == false`) or load the saved model
+    /// instead of refitting (`load == true`). Loaded models are
+    /// bit-identical to the ones saved, so experiment outputs don't change
+    /// across a save/load cycle. A missing or mismatched file degrades to
+    /// an in-memory refit with a warning rather than aborting the run.
+    pub fn gbdt_or_load(
+        &self,
+        key: &str,
+        set: FeatureSet,
+        cfg: &GbdtConfig,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+    ) -> GbdtRegressor {
+        let Some(store) = &self.models else {
+            return GbdtRegressor::fit(xs, ys, cfg);
+        };
+        let path = store.dir.join(format!("{key}.l5gm"));
+        if store.load {
+            match persist::load_regressor(&path) {
+                Ok(TrainedRegressor::Gdbt { model, .. }) => {
+                    eprintln!("    loaded {key} from {} (no refit)", path.display());
+                    return model;
+                }
+                Ok(_) => eprintln!("    {} is not a GDBT model; refitting", path.display()),
+                Err(e) => eprintln!("    cannot load {}: {e}; refitting", path.display()),
+            }
+        }
+        let model = GbdtRegressor::fit(xs, ys, cfg);
+        if !store.load {
+            let wrapped = TrainedRegressor::Gdbt {
+                model: model.clone(),
+                spec: FeatureSpec::new(set),
+            };
+            match persist::save_regressor(&wrapped, &path) {
+                Ok(()) => eprintln!("    saved {key} to {}", path.display()),
+                Err(e) => eprintln!("    cannot save {}: {e}", path.display()),
+            }
+        }
+        model
     }
 
     /// Run (or fetch from cache) the regression + classification evaluation
@@ -327,6 +384,33 @@ mod tests {
         use std::collections::HashSet;
         let areas: HashSet<u8> = g.records.iter().map(|r| r.area).collect();
         assert!(areas.contains(&0) && areas.contains(&1));
+    }
+
+    #[test]
+    fn gbdt_models_round_trip_through_the_store() {
+        let dir = std::env::temp_dir().join(format!("l5gm-ctx-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let xs: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64, (i % 7) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|r| 3.0 * r[0] - r[1]).collect();
+        let cfg = Scale::Quick.gbdt();
+
+        let mut ctx = Context::new(Scale::Quick, 1);
+        ctx.models = Some(ModelStore {
+            dir: dir.clone(),
+            load: false,
+        });
+        let fitted = ctx.gbdt_or_load("ctx_test_gdbt", FeatureSet::L, &cfg, &xs, &ys);
+        assert!(dir.join("ctx_test_gdbt.l5gm").exists());
+
+        ctx.models = Some(ModelStore {
+            dir: dir.clone(),
+            load: true,
+        });
+        let loaded = ctx.gbdt_or_load("ctx_test_gdbt", FeatureSet::L, &cfg, &xs, &ys);
+        for (a, b) in fitted.predict(&xs).iter().zip(&loaded.predict(&xs)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

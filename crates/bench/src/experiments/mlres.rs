@@ -9,7 +9,7 @@ use lumos5g::prelude::*;
 use lumos5g::tabular::build_tabular;
 use lumos5g::transfer::panel_transfer;
 use lumos5g_ml::dataset::TargetScaler;
-use lumos5g_ml::{train_test_split, GbdtRegressor, Seq2Seq, Seq2SeqConfig, StandardScaler};
+use lumos5g_ml::{train_test_split, Seq2Seq, Seq2SeqConfig, StandardScaler};
 use lumos5g_sim::Dataset;
 use std::fmt::Write as _;
 
@@ -200,7 +200,13 @@ pub fn fig16(ctx: &mut Context) -> String {
     let train = td.select(&tr);
     let test = td.select(&te.iter().copied().take(300).collect::<Vec<_>>());
 
-    let gbdt = GbdtRegressor::fit(&train.xs, &train.ys, &ctx.scale.gbdt());
+    let gbdt = ctx.gbdt_or_load(
+        "fig16_gdbt_lmc",
+        FeatureSet::LMC,
+        &ctx.scale.gbdt(),
+        &train.xs,
+        &train.ys,
+    );
     let pred = gbdt.predict(&test.xs);
 
     let mut csv = String::from("idx,truth,gdbt\n");
@@ -244,7 +250,13 @@ pub fn fig22(ctx: &mut Context) -> String {
         let cap = 20_000.min(td.len());
         let idx: Vec<usize> = (0..cap).map(|k| k * td.len() / cap).collect();
         let sub = td.select(&idx);
-        let model = GbdtRegressor::fit(&sub.xs, &sub.ys, &gbdt);
+        let model = ctx.gbdt_or_load(
+            &format!("fig22_gdbt_{}", set.label()),
+            set,
+            &gbdt,
+            &sub.xs,
+            &sub.ys,
+        );
         let imp: Vec<(String, f64)> = spec
             .feature_names()
             .into_iter()
@@ -255,7 +267,7 @@ pub fn fig22(ctx: &mut Context) -> String {
             &["feature", "importance %"],
         );
         let mut sorted = imp.clone();
-        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+        sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
         for (name, v) in sorted {
             t.row(&[name, format!("{:.1}", v * 100.0)]);
         }
@@ -421,7 +433,13 @@ pub fn sensitivity(ctx: &mut Context) -> String {
     let td = build_tabular(&data, &spec);
     let (tr, te) = train_test_split(td.len(), 0.7, 1);
     let train = td.select(&tr);
-    let model = GbdtRegressor::fit(&train.xs, &train.ys, &ctx.scale.gbdt());
+    let model = ctx.gbdt_or_load(
+        "sensitivity_gdbt_lm",
+        FeatureSet::LM,
+        &ctx.scale.gbdt(),
+        &train.xs,
+        &train.ys,
+    );
 
     // Re-derive noisy test records rather than perturbing extracted
     // features, so pixelization reacts to position noise realistically.
@@ -531,7 +549,7 @@ pub fn temporal(ctx: &mut Context) -> String {
 
     let spec = FeatureSpec::new(FeatureSet::LM);
     let tr = build_tabular(&month1, &spec);
-    let model = GbdtRegressor::fit(&tr.xs, &tr.ys, &gbdt);
+    let model = ctx.gbdt_or_load("temporal_gdbt_lm", FeatureSet::LM, &gbdt, &tr.xs, &tr.ys);
     let eval = |d: &Dataset| -> (f64, f64) {
         let td = build_tabular(d, &spec);
         let p = model.predict(&td.xs);

@@ -53,6 +53,7 @@ pub mod eval;
 pub mod features;
 pub mod map;
 pub mod map_model;
+pub mod persist;
 pub mod predictor;
 pub mod tabular;
 pub mod transfer;
@@ -62,6 +63,7 @@ pub use classes::ThroughputClass;
 pub use features::{FeatureGroup, FeatureSet, FeatureSpec};
 pub use map::ThroughputMap;
 pub use map_model::{map_model_eval, MapModel};
+pub use persist::{load_regressor, save_regressor, PersistError};
 pub use predictor::{quick_gbdt, quick_seq2seq, Lumos5G, ModelKind, TrainedRegressor};
 pub use tabular::{build_sequences, build_tabular, TabularData};
 

@@ -1,0 +1,582 @@
+//! On-disk model persistence — versioned save/load for trained models.
+//!
+//! A serving engine restart must not retrain: every single-row
+//! [`TrainedRegressor`] family (GDBT, Random Forest, KNN) and every
+//! [`TrainedClassifier`] serializes to a compact, dependency-free binary
+//! format and loads back **bit-identically** — `f64`s travel as raw
+//! IEEE-754 bits, and the KNN spatial index is rebuilt deterministically
+//! from its stored points.
+//!
+//! ## Format layout (`.l5gm` files)
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  "L5GM"
+//!      4     2  format version (u16 LE, currently 1)
+//!      6     1  kind     (0 = regressor, 1 = classifier)
+//!      7     1  family   (regressor: 1 GDBT, 2 RF, 3 KNN, 4 Harmonic;
+//!                         classifier: 1 GDBT, 2 RF, 3 KNN, 5 FromRegression)
+//!      8     1  spec presence (0 = none, 1 = FeatureSpec follows)
+//!      9     …  FeatureSpec  (set tag u8, history_window u32) when present
+//!      …     …  family payload (model-defined, see `lumos5g-ml::codec`)
+//! ```
+//!
+//! Versioning policy: the format version is bumped on any incompatible
+//! layout change; loaders reject unknown versions and unknown family tags
+//! with a typed error rather than guessing. Trailing bytes after the
+//! payload are treated as corruption.
+//!
+//! Seq2Seq and Kriging models are not (yet) persistable — saving one
+//! returns [`PersistError::UnsupportedFamily`] instead of a partial file.
+
+use crate::features::{FeatureSet, FeatureSpec};
+use crate::predictor::{TrainedClassifier, TrainedRegressor};
+use lumos5g_ml::codec::{ByteReader, ByteWriter, CodecError};
+use lumos5g_ml::{
+    GbdtClassifier, GbdtRegressor, KnnClassifier, KnnRegressor, RandomForestClassifier,
+    RandomForestRegressor,
+};
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// File magic: the first four bytes of every saved model.
+pub const MAGIC: [u8; 4] = *b"L5GM";
+/// Current wire-format version.
+pub const FORMAT_VERSION: u16 = 1;
+/// Conventional extension for saved models.
+pub const MODEL_EXTENSION: &str = "l5gm";
+
+const KIND_REGRESSOR: u8 = 0;
+const KIND_CLASSIFIER: u8 = 1;
+
+const FAM_GDBT: u8 = 1;
+const FAM_RF: u8 = 2;
+const FAM_KNN: u8 = 3;
+const FAM_HARMONIC: u8 = 4;
+const FAM_FROM_REGRESSION: u8 = 5;
+
+/// Why a save or load failed.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem error.
+    Io(io::Error),
+    /// The file does not start with the `L5GM` magic.
+    BadMagic,
+    /// The file's format version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The file holds a classifier where a regressor was expected (or vice
+    /// versa).
+    WrongKind {
+        /// What the caller asked for.
+        expected: &'static str,
+        /// The kind byte found in the file.
+        found: u8,
+    },
+    /// The model family cannot be serialized (Seq2Seq, Kriging) or the
+    /// family tag is unknown.
+    UnsupportedFamily(String),
+    /// Structurally corrupt payload.
+    Codec(CodecError),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::BadMagic => write!(f, "not a Lumos5G model file (bad magic)"),
+            PersistError::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported format version {v} (this build reads {FORMAT_VERSION})"
+                )
+            }
+            PersistError::WrongKind { expected, found } => {
+                write!(f, "expected a {expected}, found kind byte {found}")
+            }
+            PersistError::UnsupportedFamily(fam) => {
+                write!(f, "model family {fam} has no persistent form")
+            }
+            PersistError::Codec(e) => write!(f, "corrupt model file: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<CodecError> for PersistError {
+    fn from(e: CodecError) -> Self {
+        PersistError::Codec(e)
+    }
+}
+
+fn set_tag(set: FeatureSet) -> u8 {
+    match set {
+        FeatureSet::L => 0,
+        FeatureSet::LM => 1,
+        FeatureSet::TM => 2,
+        FeatureSet::LMC => 3,
+        FeatureSet::TMC => 4,
+        FeatureSet::LTM => 5,
+    }
+}
+
+fn set_from_tag(tag: u8) -> Result<FeatureSet, PersistError> {
+    Ok(match tag {
+        0 => FeatureSet::L,
+        1 => FeatureSet::LM,
+        2 => FeatureSet::TM,
+        3 => FeatureSet::LMC,
+        4 => FeatureSet::TMC,
+        5 => FeatureSet::LTM,
+        _ => {
+            return Err(PersistError::Codec(CodecError::BadTag {
+                what: "feature set",
+                tag,
+            }))
+        }
+    })
+}
+
+fn put_spec(w: &mut ByteWriter, spec: Option<&FeatureSpec>) {
+    match spec {
+        None => w.put_u8(0),
+        Some(s) => {
+            w.put_u8(1);
+            w.put_u8(set_tag(s.set));
+            w.put_u32(s.history_window as u32);
+        }
+    }
+}
+
+fn get_spec(r: &mut ByteReader<'_>) -> Result<Option<FeatureSpec>, PersistError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let set = set_from_tag(r.u8()?)?;
+            let history_window = r.u32()? as usize;
+            Ok(Some(FeatureSpec {
+                set,
+                history_window,
+            }))
+        }
+        tag => Err(PersistError::Codec(CodecError::BadTag {
+            what: "spec presence",
+            tag,
+        })),
+    }
+}
+
+fn put_header(w: &mut ByteWriter, kind: u8) {
+    w.put_bytes(&MAGIC);
+    w.put_u16(FORMAT_VERSION);
+    w.put_u8(kind);
+}
+
+/// Checks magic + version, returns the kind byte.
+fn get_header(r: &mut ByteReader<'_>) -> Result<u8, PersistError> {
+    if r.take(4)? != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    Ok(r.u8()?)
+}
+
+/// Encode a regressor to bytes. Seq2Seq and Kriging are not persistable.
+pub fn encode_regressor(model: &TrainedRegressor) -> Result<Vec<u8>, PersistError> {
+    let mut w = ByteWriter::new();
+    put_header(&mut w, KIND_REGRESSOR);
+    match model {
+        TrainedRegressor::Gdbt { model, spec } => {
+            w.put_u8(FAM_GDBT);
+            put_spec(&mut w, Some(spec));
+            model.encode(&mut w);
+        }
+        TrainedRegressor::RandomForest { model, spec } => {
+            w.put_u8(FAM_RF);
+            put_spec(&mut w, Some(spec));
+            model.encode(&mut w);
+        }
+        TrainedRegressor::Knn { model, spec } => {
+            w.put_u8(FAM_KNN);
+            put_spec(&mut w, Some(spec));
+            model.encode(&mut w);
+        }
+        TrainedRegressor::Harmonic { window } => {
+            w.put_u8(FAM_HARMONIC);
+            put_spec(&mut w, None);
+            w.put_u32(*window as u32);
+        }
+        TrainedRegressor::Seq2Seq { .. } => {
+            return Err(PersistError::UnsupportedFamily("Seq2Seq".into()))
+        }
+        TrainedRegressor::Kriging { .. } => {
+            return Err(PersistError::UnsupportedFamily("Kriging".into()))
+        }
+    }
+    Ok(w.into_bytes())
+}
+
+/// Decode a regressor from bytes produced by [`encode_regressor`].
+pub fn decode_regressor(bytes: &[u8]) -> Result<TrainedRegressor, PersistError> {
+    let mut r = ByteReader::new(bytes);
+    let model = decode_regressor_from(&mut r)?;
+    r.finish().map_err(PersistError::Codec)?;
+    Ok(model)
+}
+
+fn decode_regressor_from(r: &mut ByteReader<'_>) -> Result<TrainedRegressor, PersistError> {
+    let kind = get_header(r)?;
+    if kind != KIND_REGRESSOR {
+        return Err(PersistError::WrongKind {
+            expected: "regressor",
+            found: kind,
+        });
+    }
+    let family = r.u8()?;
+    let spec = get_spec(r)?;
+    let need_spec = |spec: Option<FeatureSpec>| {
+        spec.ok_or(PersistError::Codec(CodecError::Invalid(
+            "missing feature spec".into(),
+        )))
+    };
+    Ok(match family {
+        FAM_GDBT => TrainedRegressor::Gdbt {
+            model: GbdtRegressor::decode(r)?,
+            spec: need_spec(spec)?,
+        },
+        FAM_RF => TrainedRegressor::RandomForest {
+            model: RandomForestRegressor::decode(r)?,
+            spec: need_spec(spec)?,
+        },
+        FAM_KNN => TrainedRegressor::Knn {
+            model: KnnRegressor::decode(r)?,
+            spec: need_spec(spec)?,
+        },
+        FAM_HARMONIC => {
+            let window = r.u32()? as usize;
+            if window == 0 {
+                return Err(PersistError::Codec(CodecError::Invalid(
+                    "harmonic window of zero".into(),
+                )));
+            }
+            TrainedRegressor::Harmonic { window }
+        }
+        _ => {
+            return Err(PersistError::UnsupportedFamily(format!(
+                "regressor tag {family}"
+            )))
+        }
+    })
+}
+
+/// Encode a classifier to bytes. A `FromRegression` classifier nests its
+/// regressor's full encoding, so it is persistable exactly when the
+/// regressor is.
+pub fn encode_classifier(model: &TrainedClassifier) -> Result<Vec<u8>, PersistError> {
+    let mut w = ByteWriter::new();
+    put_header(&mut w, KIND_CLASSIFIER);
+    match model {
+        TrainedClassifier::GdbtNative { model, spec } => {
+            w.put_u8(FAM_GDBT);
+            put_spec(&mut w, Some(spec));
+            model.encode(&mut w);
+        }
+        TrainedClassifier::RfNative { model, spec } => {
+            w.put_u8(FAM_RF);
+            put_spec(&mut w, Some(spec));
+            model.encode(&mut w);
+        }
+        TrainedClassifier::KnnNative { model, spec } => {
+            w.put_u8(FAM_KNN);
+            put_spec(&mut w, Some(spec));
+            model.encode(&mut w);
+        }
+        TrainedClassifier::FromRegression(reg) => {
+            w.put_u8(FAM_FROM_REGRESSION);
+            put_spec(&mut w, None);
+            let inner = encode_regressor(reg)?;
+            w.put_len(inner.len());
+            w.put_bytes(&inner);
+        }
+    }
+    Ok(w.into_bytes())
+}
+
+/// Decode a classifier from bytes produced by [`encode_classifier`].
+pub fn decode_classifier(bytes: &[u8]) -> Result<TrainedClassifier, PersistError> {
+    let mut r = ByteReader::new(bytes);
+    let kind = get_header(&mut r)?;
+    if kind != KIND_CLASSIFIER {
+        return Err(PersistError::WrongKind {
+            expected: "classifier",
+            found: kind,
+        });
+    }
+    let family = r.u8()?;
+    let spec = get_spec(&mut r)?;
+    let need_spec = |spec: Option<FeatureSpec>| {
+        spec.ok_or(PersistError::Codec(CodecError::Invalid(
+            "missing feature spec".into(),
+        )))
+    };
+    let model = match family {
+        FAM_GDBT => TrainedClassifier::GdbtNative {
+            model: GbdtClassifier::decode(&mut r)?,
+            spec: need_spec(spec)?,
+        },
+        FAM_RF => TrainedClassifier::RfNative {
+            model: RandomForestClassifier::decode(&mut r)?,
+            spec: need_spec(spec)?,
+        },
+        FAM_KNN => TrainedClassifier::KnnNative {
+            model: KnnClassifier::decode(&mut r)?,
+            spec: need_spec(spec)?,
+        },
+        FAM_FROM_REGRESSION => {
+            let len = r.len()?;
+            let inner = r.take(len)?;
+            TrainedClassifier::FromRegression(Box::new(decode_regressor(inner)?))
+        }
+        _ => {
+            return Err(PersistError::UnsupportedFamily(format!(
+                "classifier tag {family}"
+            )))
+        }
+    };
+    r.finish().map_err(PersistError::Codec)?;
+    Ok(model)
+}
+
+/// Save a regressor to `path`, creating parent directories as needed.
+pub fn save_regressor(model: &TrainedRegressor, path: &Path) -> Result<(), PersistError> {
+    let bytes = encode_regressor(model)?;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, bytes)?;
+    Ok(())
+}
+
+/// Load a regressor saved by [`save_regressor`].
+pub fn load_regressor(path: &Path) -> Result<TrainedRegressor, PersistError> {
+    decode_regressor(&std::fs::read(path)?)
+}
+
+/// Save a classifier to `path`, creating parent directories as needed.
+pub fn save_classifier(model: &TrainedClassifier, path: &Path) -> Result<(), PersistError> {
+    let bytes = encode_classifier(model)?;
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, bytes)?;
+    Ok(())
+}
+
+/// Load a classifier saved by [`save_classifier`].
+pub fn load_classifier(path: &Path) -> Result<TrainedClassifier, PersistError> {
+    decode_classifier(&std::fs::read(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::{quick_gbdt, quick_seq2seq, Lumos5G, ModelKind};
+    use lumos5g_ml::forest::ForestConfig;
+    use lumos5g_sim::{airport, quality, run_campaign, CampaignConfig, Dataset};
+
+    fn campaign(seed: u64) -> Dataset {
+        let area = airport(seed);
+        let cfg = CampaignConfig {
+            passes_per_trajectory: 2,
+            max_duration_s: 160,
+            base_seed: seed,
+            bad_gps_fraction: 0.0,
+            ..Default::default()
+        };
+        let raw = run_campaign(&area, &cfg);
+        let (clean, _) = quality::apply(&raw, &area.frame, &Default::default());
+        clean
+    }
+
+    fn family_grid(seed: u64) -> Vec<(&'static str, ModelKind)> {
+        let mut gbdt = quick_gbdt();
+        gbdt.seed = seed;
+        vec![
+            ("gdbt", ModelKind::Gdbt(gbdt)),
+            ("knn", ModelKind::Knn { k: 5 }),
+            (
+                "rf",
+                ModelKind::RandomForest(ForestConfig {
+                    n_trees: 15,
+                    ..Default::default()
+                }),
+            ),
+        ]
+    }
+
+    #[test]
+    fn regressor_round_trip_is_bit_identical_for_every_family() {
+        let data = campaign(11);
+        for (name, kind) in family_grid(11) {
+            for set in [FeatureSet::L, FeatureSet::LM, FeatureSet::LMC] {
+                let model = Lumos5G::new(set, kind.clone())
+                    .fit_regression(&data)
+                    .unwrap();
+                let bytes = encode_regressor(&model).unwrap();
+                let loaded = decode_regressor(&bytes).unwrap();
+                assert_eq!(loaded.spec(), model.spec(), "{name}/{set:?}");
+                let (_, want) = model.eval(&data);
+                let (_, got) = loaded.eval(&data);
+                assert_eq!(want.len(), got.len());
+                for (w, g) in want.iter().zip(&got) {
+                    assert_eq!(w.to_bits(), g.to_bits(), "{name}/{set:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classifier_round_trip_is_bit_identical_for_every_family() {
+        let data = campaign(13);
+        for (name, kind) in family_grid(13) {
+            let model = Lumos5G::new(FeatureSet::LM, kind)
+                .fit_classification(&data)
+                .unwrap();
+            let bytes = encode_classifier(&model).unwrap();
+            let loaded = decode_classifier(&bytes).unwrap();
+            let (_, want) = model.eval(&data);
+            let (_, got) = loaded.eval(&data);
+            assert_eq!(want, got, "{name}");
+        }
+    }
+
+    #[test]
+    fn harmonic_and_from_regression_round_trip() {
+        let data = campaign(17);
+        let reg = Lumos5G::new(FeatureSet::L, ModelKind::HarmonicMean { window: 7 })
+            .fit_regression(&data)
+            .unwrap();
+        let loaded = decode_regressor(&encode_regressor(&reg).unwrap()).unwrap();
+        assert!(matches!(loaded, TrainedRegressor::Harmonic { window: 7 }));
+
+        let clf = Lumos5G::new(FeatureSet::L, ModelKind::HarmonicMean { window: 7 })
+            .fit_classification(&data)
+            .unwrap();
+        let loaded = decode_classifier(&encode_classifier(&clf).unwrap()).unwrap();
+        let (want_t, want_p) = clf.eval(&data);
+        let (got_t, got_p) = loaded.eval(&data);
+        assert_eq!(want_t, got_t);
+        assert_eq!(want_p, got_p);
+    }
+
+    #[test]
+    fn seq2seq_and_kriging_report_unsupported() {
+        let data = campaign(19);
+        let kriging = Lumos5G::new(FeatureSet::L, ModelKind::Kriging { neighbors: 8 })
+            .fit_regression(&data)
+            .unwrap();
+        assert!(matches!(
+            encode_regressor(&kriging),
+            Err(PersistError::UnsupportedFamily(_))
+        ));
+        let mut p = quick_seq2seq();
+        p.epochs = 1;
+        let seq = Lumos5G::new(FeatureSet::L, ModelKind::Seq2Seq(p))
+            .fit_regression(&data)
+            .unwrap();
+        assert!(matches!(
+            encode_regressor(&seq),
+            Err(PersistError::UnsupportedFamily(_))
+        ));
+    }
+
+    #[test]
+    fn every_truncation_errors_instead_of_panicking() {
+        let data = campaign(23);
+        let model = Lumos5G::new(FeatureSet::LM, ModelKind::Knn { k: 3 })
+            .fit_regression(&data)
+            .unwrap();
+        let bytes = encode_regressor(&model).unwrap();
+        // Every strict prefix must fail cleanly (step 7 keeps it fast; the
+        // interesting boundaries near the header are all covered).
+        for cut in (0..bytes.len()).step_by(7).chain([bytes.len() - 1]) {
+            assert!(decode_regressor(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupted_header_and_trailing_bytes_are_rejected() {
+        let model = TrainedRegressor::Harmonic { window: 5 };
+        let bytes = encode_regressor(&model).unwrap();
+
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(
+            decode_regressor(&bad_magic),
+            Err(PersistError::BadMagic)
+        ));
+
+        let mut future = bytes.clone();
+        future[4..6].copy_from_slice(&999u16.to_le_bytes());
+        assert!(matches!(
+            decode_regressor(&future),
+            Err(PersistError::UnsupportedVersion(999))
+        ));
+
+        let mut bad_family = bytes.clone();
+        bad_family[7] = 0xEE;
+        assert!(matches!(
+            decode_regressor(&bad_family),
+            Err(PersistError::UnsupportedFamily(_))
+        ));
+
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            decode_regressor(&trailing),
+            Err(PersistError::Codec(_))
+        ));
+
+        // A regressor file is not a classifier and vice versa.
+        assert!(matches!(
+            decode_classifier(&bytes),
+            Err(PersistError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn save_load_files_round_trip() {
+        let dir = std::env::temp_dir().join(format!("l5gm-persist-{}", std::process::id()));
+        let data = campaign(29);
+        let model = Lumos5G::new(FeatureSet::LM, ModelKind::Gdbt(quick_gbdt()))
+            .fit_regression(&data)
+            .unwrap();
+        let path = dir.join("nested/model.l5gm");
+        save_regressor(&model, &path).unwrap();
+        let loaded = load_regressor(&path).unwrap();
+        let (_, want) = model.eval(&data);
+        let (_, got) = loaded.eval(&data);
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.to_bits(), g.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -132,7 +132,12 @@ impl Lumos5G {
     }
 
     /// Train a regressor on `data` (next-second throughput prediction).
+    ///
+    /// Non-finite feature values are rejected up front with an `Err` — a
+    /// single corrupt logger sample must not panic mid-fit.
     pub fn fit_regression(&self, data: &Dataset) -> Result<TrainedRegressor, String> {
+        data.check_finite()
+            .map_err(|e| format!("non-finite training data: {e}"))?;
         match &self.model {
             ModelKind::Gdbt(cfg) => {
                 let td = build_tabular(data, &self.spec);
@@ -227,6 +232,8 @@ impl Lumos5G {
     /// classify by bucketing their regression output, exactly like the
     /// paper's post-processing step (§6.1).
     pub fn fit_classification(&self, data: &Dataset) -> Result<TrainedClassifier, String> {
+        data.check_finite()
+            .map_err(|e| format!("non-finite training data: {e}"))?;
         match &self.model {
             ModelKind::Gdbt(cfg) => {
                 let td = build_tabular(data, &self.spec);
@@ -371,7 +378,12 @@ impl TrainedRegressor {
             TrainedRegressor::Harmonic { window } => {
                 let mut truth = Vec::new();
                 let mut pred = Vec::new();
-                for (_, trace) in data.traces() {
+                // `traces()` hands back a HashMap; iterate in sorted key
+                // order so two evals of the same dataset emit bit-identical
+                // output sequences (the repo-wide reproducibility invariant).
+                let mut traces: Vec<_> = data.traces().into_iter().collect();
+                traces.sort_unstable_by_key(|&(k, _)| k);
+                for (_, trace) in traces {
                     for (t, p) in HarmonicMeanPredictor::eval_trace(&trace, *window) {
                         truth.push(t);
                         pred.push(p);
@@ -658,6 +670,17 @@ mod tests {
         let recs: Vec<_> = data.records.iter().take(20).cloned().collect();
         let hist: Vec<Vec<f64>> = (0..10).map(|i| spec.extract(&recs, i).unwrap()).collect();
         assert_eq!(m.predict_sequence(&hist).len(), p.horizon);
+    }
+
+    #[test]
+    fn fit_rejects_non_finite_samples_with_err() {
+        let mut data = small_data();
+        data.records[7].nr_ssrsrp_dbm = f64::NAN;
+        let framework = Lumos5G::new(FeatureSet::TM, ModelKind::Gdbt(quick_gbdt()));
+        let got = framework.fit_regression(&data);
+        assert!(got.is_err());
+        assert!(got.unwrap_err().contains("non-finite"));
+        assert!(framework.fit_classification(&data).is_err());
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Dependency-free binary encoding primitives for model persistence.
+//!
+//! Each model family serializes itself with [`ByteWriter`] / [`ByteReader`]
+//! (little-endian integers; `f64` as raw IEEE-754 bits, so round-trips are
+//! bit-exact). The framing — magic, format version, family tags — lives in
+//! `lumos5g-core::persist`; this module only provides the primitives and the
+//! per-field error type, so the codec stays usable from any crate that can
+//! see the model internals.
+
+use std::fmt;
+
+/// A decoding failure. Decoders never panic on malformed input; every byte
+/// read is checked and surfaces here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The buffer ended before a field could be read.
+    UnexpectedEof {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes left in the buffer.
+        remaining: usize,
+    },
+    /// A tag byte had no defined meaning in its position.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// A structurally invalid value (e.g. an out-of-range index).
+    Invalid(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} left"
+                )
+            }
+            CodecError::BadTag { what, tag } => write!(f, "bad {what} tag byte 0x{tag:02x}"),
+            CodecError::Invalid(msg) => write!(f, "invalid encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append raw bytes.
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Append one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Append a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `usize` as `u32` (model structures never exceed 4 G items).
+    pub fn put_len(&mut self, v: usize) {
+        debug_assert!(v <= u32::MAX as usize, "length overflows the u32 wire size");
+        self.put_u32(v as u32);
+    }
+
+    /// Append an `f64` as its raw IEEE-754 bits (exact round-trip).
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    /// Append a length-prefixed `f64` slice.
+    pub fn put_f64s(&mut self, vs: &[f64]) {
+        self.put_len(vs.len());
+        for &v in vs {
+            self.put_f64(v);
+        }
+    }
+
+    /// Append a length-prefixed list of `usize` (as `u32`).
+    pub fn put_lens(&mut self, vs: &[usize]) {
+        self.put_len(vs.len());
+        for &v in vs {
+            self.put_len(v);
+        }
+    }
+}
+
+/// Checked cursor over an encoded byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read from the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Take the next `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a little-endian `u16`.
+    pub fn u16(&mut self) -> Result<u16, CodecError> {
+        Ok(u16::from_le_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Read a length written by [`ByteWriter::put_len`].
+    ///
+    /// This consumes 4 bytes from the stream — it is a decoder, not a
+    /// container-size accessor, so the usual `is_empty` pairing does not
+    /// apply.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&mut self) -> Result<usize, CodecError> {
+        Ok(self.u32()? as usize)
+    }
+
+    /// Read an `f64` from its raw bits.
+    pub fn f64(&mut self) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed `f64` slice.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.len()?;
+        // Each element needs 8 bytes; checking up front rejects absurd
+        // lengths from corrupt input before any allocation.
+        if self.remaining() < n * 8 {
+            return Err(CodecError::UnexpectedEof {
+                needed: n * 8,
+                remaining: self.remaining(),
+            });
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Read a length-prefixed list written by [`ByteWriter::put_lens`].
+    pub fn lens(&mut self) -> Result<Vec<usize>, CodecError> {
+        let n = self.len()?;
+        if self.remaining() < n * 4 {
+            return Err(CodecError::UnexpectedEof {
+                needed: n * 4,
+                remaining: self.remaining(),
+            });
+        }
+        (0..n).map(|_| self.len()).collect()
+    }
+
+    /// Error unless the buffer was fully consumed (trailing garbage is
+    /// treated as corruption, not ignored).
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() != 0 {
+            return Err(CodecError::Invalid(format!(
+                "{} trailing bytes after the encoded payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(65_000);
+        w.put_u32(4_000_000_000);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-0.0);
+        w.put_f64(f64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 65_000);
+        assert_eq!(r.u32().unwrap(), 4_000_000_000);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap(), f64::MAX);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn f64_slices_are_bit_exact() {
+        let vs = [
+            1.0,
+            -1.5e300,
+            f64::NAN,
+            f64::NEG_INFINITY,
+            std::f64::consts::PI,
+        ];
+        let mut w = ByteWriter::new();
+        w.put_f64s(&vs);
+        let bytes = w.into_bytes();
+        let got = ByteReader::new(&bytes).f64s().unwrap();
+        assert_eq!(got.len(), vs.len());
+        for (a, b) in got.iter().zip(&vs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors_instead_of_panicking() {
+        let mut w = ByteWriter::new();
+        w.put_f64s(&[1.0, 2.0, 3.0]);
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(r.f64s().is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn huge_claimed_length_is_rejected_before_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX); // claims ~4G elements, no payload
+        let bytes = w.into_bytes();
+        assert!(ByteReader::new(&bytes).f64s().is_err());
+    }
+
+    #[test]
+    fn finish_rejects_trailing_bytes() {
+        let bytes = [1u8, 2, 3];
+        let mut r = ByteReader::new(&bytes);
+        r.u8().unwrap();
+        assert!(r.finish().is_err());
+        r.take(2).unwrap();
+        r.finish().unwrap();
+    }
+}

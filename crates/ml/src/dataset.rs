@@ -100,6 +100,26 @@ impl StandardScaler {
             .map(|(j, v)| v * self.stds[j] + self.means[j])
             .collect()
     }
+
+    /// Serialize (bit-exact).
+    pub fn encode(&self, w: &mut crate::codec::ByteWriter) {
+        w.put_f64s(&self.means);
+        w.put_f64s(&self.stds);
+    }
+
+    /// Inverse of [`Self::encode`].
+    pub fn decode(r: &mut crate::codec::ByteReader<'_>) -> Result<Self, crate::codec::CodecError> {
+        let means = r.f64s()?;
+        let stds = r.f64s()?;
+        if means.len() != stds.len() {
+            return Err(crate::codec::CodecError::Invalid(format!(
+                "{} means vs {} stds",
+                means.len(),
+                stds.len()
+            )));
+        }
+        Ok(StandardScaler { means, stds })
+    }
 }
 
 /// A scalar standardizer for target values (the Seq2Seq trains on

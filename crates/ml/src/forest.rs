@@ -6,6 +6,7 @@
 //! subspace per split; regression averages leaf means, classification takes
 //! a majority vote.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::tree::{ClassificationTree, RegressionTree, TreeConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -84,6 +85,24 @@ impl RandomForestRegressor {
     pub fn predict(&self, xs: &[Vec<f64>]) -> Vec<f64> {
         xs.iter().map(|r| self.predict_row(r)).collect()
     }
+
+    /// Serialize all trees.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_len(self.trees.len());
+        for t in &self.trees {
+            t.encode(w);
+        }
+    }
+
+    /// Inverse of [`Self::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let n = r.len()?;
+        if n == 0 {
+            return Err(CodecError::Invalid("forest with zero trees".into()));
+        }
+        let trees: Result<Vec<_>, _> = (0..n).map(|_| RegressionTree::decode(r)).collect();
+        Ok(RandomForestRegressor { trees: trees? })
+    }
 }
 
 /// Bagged classification forest with majority vote.
@@ -137,6 +156,29 @@ impl RandomForestClassifier {
     /// Predict many rows.
     pub fn predict(&self, xs: &[Vec<f64>]) -> Vec<usize> {
         xs.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Serialize all trees.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_len(self.n_classes);
+        w.put_len(self.trees.len());
+        for t in &self.trees {
+            t.encode(w);
+        }
+    }
+
+    /// Inverse of [`Self::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let n_classes = r.len()?;
+        let n = r.len()?;
+        if n == 0 {
+            return Err(CodecError::Invalid("forest with zero trees".into()));
+        }
+        let trees: Result<Vec<_>, _> = (0..n).map(|_| ClassificationTree::decode(r)).collect();
+        Ok(RandomForestClassifier {
+            trees: trees?,
+            n_classes,
+        })
     }
 }
 

@@ -14,6 +14,7 @@
 //! laptop-scale equivalent (same bias/variance trade-off at ~25× less
 //! compute: fewer, slightly stronger steps).
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::tree::{RegressionTree, TreeConfig};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -232,6 +233,35 @@ impl GbdtRegressor {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// Serialize: base, learning rate, then each tree as a flat node array.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(self.base);
+        w.put_f64(self.lr);
+        w.put_len(self.n_features);
+        w.put_len(self.trees.len());
+        for t in &self.trees {
+            t.encode(w);
+        }
+    }
+
+    /// Inverse of [`Self::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let base = r.f64()?;
+        let lr = r.f64()?;
+        let n_features = r.len()?;
+        let n_trees = r.len()?;
+        let mut trees = Vec::with_capacity(n_trees.min(r.remaining()));
+        for _ in 0..n_trees {
+            trees.push(RegressionTree::decode(r)?);
+        }
+        Ok(GbdtRegressor {
+            base,
+            trees,
+            lr,
+            n_features,
+        })
+    }
 }
 
 /// Multiclass softmax gradient boosting.
@@ -328,7 +358,7 @@ impl GbdtClassifier {
         let s = self.scores_row(row);
         s.iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite score"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(k, _)| k)
             .expect("at least one class")
     }
@@ -358,6 +388,48 @@ impl GbdtClassifier {
     /// Number of classes.
     pub fn n_classes(&self) -> usize {
         self.n_classes
+    }
+
+    /// Serialize: priors, learning rate, then `rounds × classes` trees.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64s(&self.priors);
+        w.put_f64(self.lr);
+        w.put_len(self.n_classes);
+        w.put_len(self.n_features);
+        w.put_len(self.trees.len());
+        for round in &self.trees {
+            for t in round {
+                t.encode(w);
+            }
+        }
+    }
+
+    /// Inverse of [`Self::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let priors = r.f64s()?;
+        let lr = r.f64()?;
+        let n_classes = r.len()?;
+        let n_features = r.len()?;
+        if priors.len() != n_classes || n_classes == 0 {
+            return Err(CodecError::Invalid(format!(
+                "{} priors for {n_classes} classes",
+                priors.len()
+            )));
+        }
+        let n_rounds = r.len()?;
+        let mut trees = Vec::with_capacity(n_rounds.min(r.remaining()));
+        for _ in 0..n_rounds {
+            let round: Result<Vec<_>, _> =
+                (0..n_classes).map(|_| RegressionTree::decode(r)).collect();
+            trees.push(round?);
+        }
+        Ok(GbdtClassifier {
+            trees,
+            priors,
+            lr,
+            n_classes,
+            n_features,
+        })
     }
 }
 

@@ -29,9 +29,7 @@ impl PartialOrd for Candidate {
 
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.dist_sq
-            .partial_cmp(&other.dist_sq)
-            .expect("finite distances")
+        self.dist_sq.total_cmp(&other.dist_sq)
     }
 }
 
@@ -105,9 +103,7 @@ impl KdTree {
         }
         let mid = idx.len() / 2;
         idx.select_nth_unstable_by(mid, |&a, &b| {
-            self.points[a][best_axis]
-                .partial_cmp(&self.points[b][best_axis])
-                .expect("finite coordinates")
+            self.points[a][best_axis].total_cmp(&self.points[b][best_axis])
         });
         let threshold = self.points[idx[mid]][best_axis];
         // Guard: with many duplicates the median split can be degenerate;
@@ -138,6 +134,13 @@ impl KdTree {
         self.points.len()
     }
 
+    /// The indexed points, in insertion order (row `i` of the build input is
+    /// `points()[i]`, so external parallel arrays keep lining up). Used to
+    /// serialize a KNN model as points + deterministic rebuild on load.
+    pub fn points(&self) -> &[Vec<f64>] {
+        &self.points
+    }
+
     /// True when empty (construction forbids it, so always false).
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
@@ -155,7 +158,7 @@ impl KdTree {
         let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(k + 1);
         self.search(self.root, query, k, &mut heap);
         let mut out: Vec<Candidate> = heap.into_vec();
-        out.sort_by(|a, b| a.dist_sq.partial_cmp(&b.dist_sq).expect("finite"));
+        out.sort_by(|a, b| a.dist_sq.total_cmp(&b.dist_sq));
         out.into_iter().map(|c| c.index).collect()
     }
 
@@ -216,7 +219,7 @@ mod tests {
             .enumerate()
             .map(|(i, p)| (sq_dist(p, q), i))
             .collect();
-        d.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        d.sort_by(|a, b| a.0.total_cmp(&b.0));
         d.into_iter().take(k).map(|(_, i)| i).collect()
     }
 

@@ -8,6 +8,7 @@
 //! faster, and falls back to a brute-force scan in higher dimensions where
 //! k-d trees degenerate.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::dataset::StandardScaler;
 use crate::kdtree::KdTree;
 
@@ -44,13 +45,50 @@ impl Index {
                     .map(|(i, row)| (sq_dist(row, q), i))
                     .collect();
                 let k = k.min(dists.len());
-                dists.select_nth_unstable_by(k - 1, |a, b| {
-                    a.0.partial_cmp(&b.0).expect("finite distance")
-                });
+                dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
                 dists[..k].iter().map(|&(_, i)| i).collect()
             }
         }
     }
+
+    /// The indexed (scaled) points, row `i` matching training row `i`.
+    fn points(&self) -> &[Vec<f64>] {
+        match self {
+            Index::Tree(t) => t.points(),
+            Index::Brute(xs) => xs,
+        }
+    }
+}
+
+/// Serialize the scaled point matrix: dim, then row-major values.
+fn encode_points(points: &[Vec<f64>], w: &mut ByteWriter) {
+    w.put_len(points[0].len());
+    w.put_len(points.len());
+    for p in points {
+        for &v in p {
+            w.put_f64(v);
+        }
+    }
+}
+
+/// Inverse of [`encode_points`]; the index is rebuilt deterministically by
+/// `Index::build` (the tree-vs-brute choice depends only on the dimension).
+fn decode_points(r: &mut ByteReader<'_>) -> Result<Vec<Vec<f64>>, CodecError> {
+    let dim = r.len()?;
+    let n = r.len()?;
+    if dim == 0 || n == 0 {
+        return Err(CodecError::Invalid("empty KNN point set".into()));
+    }
+    let needed = n.saturating_mul(dim).saturating_mul(8);
+    if r.remaining() < needed {
+        return Err(CodecError::UnexpectedEof {
+            needed,
+            remaining: r.remaining(),
+        });
+    }
+    (0..n)
+        .map(|_| (0..dim).map(|_| r.f64()).collect())
+        .collect()
 }
 
 /// KNN regressor (mean of neighbour targets).
@@ -87,6 +125,37 @@ impl KnnRegressor {
     /// Predict many rows.
     pub fn predict(&self, xs: &[Vec<f64>]) -> Vec<f64> {
         xs.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Serialize: k, scaler, targets, then the scaled training points. The
+    /// spatial index is not written — it is rebuilt on decode, which is
+    /// deterministic, so a loaded model predicts bit-identically.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_len(self.k);
+        self.scaler.encode(w);
+        w.put_f64s(&self.ys);
+        encode_points(self.index.points(), w);
+    }
+
+    /// Inverse of [`Self::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let k = r.len()?;
+        let scaler = StandardScaler::decode(r)?;
+        let ys = r.f64s()?;
+        let points = decode_points(r)?;
+        if k == 0 || ys.len() != points.len() {
+            return Err(CodecError::Invalid(format!(
+                "k = {k}, {} targets for {} points",
+                ys.len(),
+                points.len()
+            )));
+        }
+        Ok(KnnRegressor {
+            k,
+            index: Index::build(points),
+            ys,
+            scaler,
+        })
     }
 }
 
@@ -136,6 +205,34 @@ impl KnnClassifier {
     /// Predict many rows.
     pub fn predict(&self, xs: &[Vec<f64>]) -> Vec<usize> {
         xs.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Serialize: k, class count, scaler, labels, scaled training points.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_len(self.k);
+        w.put_len(self.n_classes);
+        self.scaler.encode(w);
+        w.put_lens(&self.ys);
+        encode_points(self.index.points(), w);
+    }
+
+    /// Inverse of [`Self::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let k = r.len()?;
+        let n_classes = r.len()?;
+        let scaler = StandardScaler::decode(r)?;
+        let ys = r.lens()?;
+        let points = decode_points(r)?;
+        if k == 0 || ys.len() != points.len() || ys.iter().any(|&y| y >= n_classes) {
+            return Err(CodecError::Invalid("inconsistent KNN classifier".into()));
+        }
+        Ok(KnnClassifier {
+            k,
+            n_classes,
+            index: Index::build(points),
+            ys,
+            scaler,
+        })
     }
 }
 

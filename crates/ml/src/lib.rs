@@ -23,9 +23,11 @@
 //! - [`harmonic`]: harmonic-mean-of-history predictor (FESTIVE/MPC \[38, 64\]).
 //!
 //! Support modules: [`linalg`] (dense solve for the Kriging system),
-//! [`tree`] (CART, shared by GBDT and RF), [`dataset`] (splits and scalers)
-//! and [`metrics`] (MAE/RMSE/weighted-F1/recall — the paper's metrics).
+//! [`tree`] (CART, shared by GBDT and RF), [`dataset`] (splits and scalers),
+//! [`metrics`] (MAE/RMSE/weighted-F1/recall — the paper's metrics) and
+//! [`codec`] (byte-level primitives behind `lumos5g-core::persist`).
 
+pub mod codec;
 pub mod dataset;
 pub mod forest;
 pub mod gbdt;

@@ -12,6 +12,7 @@
 //! Both support depth bounds, minimum leaf sizes and random feature
 //! subspaces (for forests).
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
@@ -89,7 +90,7 @@ impl RegressionTree {
         let orders: Vec<Vec<usize>> = (0..n_features)
             .map(|f| {
                 let mut v: Vec<usize> = (0..xs.len()).collect();
-                v.sort_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).expect("NaN feature value"));
+                v.sort_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
                 v
             })
             .collect();
@@ -266,6 +267,81 @@ impl RegressionTree {
     pub fn node_count(&self) -> usize {
         self.nodes.len()
     }
+
+    /// Serialize as a flat node array (tag byte per node).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_len(self.n_features);
+        w.put_len(self.nodes.len());
+        for n in &self.nodes {
+            match n {
+                Node::Leaf { value } => {
+                    w.put_u8(0);
+                    w.put_f64(*value);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    gain,
+                    left,
+                    right,
+                } => {
+                    w.put_u8(1);
+                    w.put_len(*feature);
+                    w.put_f64(*threshold);
+                    w.put_f64(*gain);
+                    w.put_len(*left);
+                    w.put_len(*right);
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`Self::encode`]. Child and feature indices are validated
+    /// so a decoded tree can never panic during prediction.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let n_features = r.len()?;
+        let count = r.len()?;
+        if count == 0 {
+            return Err(CodecError::Invalid("tree with zero nodes".into()));
+        }
+        let mut nodes = Vec::with_capacity(count.min(r.remaining()));
+        for _ in 0..count {
+            nodes.push(match r.u8()? {
+                0 => Node::Leaf { value: r.f64()? },
+                1 => {
+                    let feature = r.len()?;
+                    let threshold = r.f64()?;
+                    let gain = r.f64()?;
+                    let left = r.len()?;
+                    let right = r.len()?;
+                    if feature >= n_features {
+                        return Err(CodecError::Invalid(format!(
+                            "split feature {feature} out of range (n_features = {n_features})"
+                        )));
+                    }
+                    if left >= count || right >= count {
+                        return Err(CodecError::Invalid(format!(
+                            "child index out of range ({left}/{right} vs {count} nodes)"
+                        )));
+                    }
+                    Node::Split {
+                        feature,
+                        threshold,
+                        gain,
+                        left,
+                        right,
+                    }
+                }
+                tag => {
+                    return Err(CodecError::BadTag {
+                        what: "tree node",
+                        tag,
+                    })
+                }
+            });
+        }
+        Ok(RegressionTree { nodes, n_features })
+    }
 }
 
 /// Gini-impurity classification tree with majority-vote leaves.
@@ -312,7 +388,7 @@ impl ClassificationTree {
         let orders: Vec<Vec<usize>> = (0..n_features)
             .map(|f| {
                 let mut v: Vec<usize> = (0..xs.len()).collect();
-                v.sort_by(|&a, &b| xs[a][f].partial_cmp(&xs[b][f]).expect("NaN feature value"));
+                v.sort_by(|&a, &b| xs[a][f].total_cmp(&xs[b][f]));
                 v
             })
             .collect();
@@ -353,7 +429,7 @@ impl ClassificationTree {
         let majority = counts
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite count"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(c, _)| c)
             .unwrap_or(0);
         let proba: Vec<f64> = counts.iter().map(|c| c / total.max(1.0)).collect();
@@ -490,6 +566,86 @@ impl ClassificationTree {
     /// Predicted classes for many rows.
     pub fn predict(&self, xs: &[Vec<f64>]) -> Vec<usize> {
         xs.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// Serialize as a flat node array (tag byte per node).
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_len(self.n_features);
+        w.put_len(self.n_classes);
+        w.put_len(self.nodes.len());
+        for n in &self.nodes {
+            match n {
+                CNode::Leaf { class, proba } => {
+                    w.put_u8(0);
+                    w.put_len(*class);
+                    w.put_f64s(proba);
+                }
+                CNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    w.put_u8(1);
+                    w.put_len(*feature);
+                    w.put_f64(*threshold);
+                    w.put_len(*left);
+                    w.put_len(*right);
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`Self::encode`], with index validation.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let n_features = r.len()?;
+        let n_classes = r.len()?;
+        let count = r.len()?;
+        if count == 0 {
+            return Err(CodecError::Invalid("tree with zero nodes".into()));
+        }
+        let mut nodes = Vec::with_capacity(count.min(r.remaining()));
+        for _ in 0..count {
+            nodes.push(match r.u8()? {
+                0 => {
+                    let class = r.len()?;
+                    let proba = r.f64s()?;
+                    if class >= n_classes || proba.len() != n_classes {
+                        return Err(CodecError::Invalid(format!(
+                            "leaf class {class}/proba {} vs {n_classes} classes",
+                            proba.len()
+                        )));
+                    }
+                    CNode::Leaf { class, proba }
+                }
+                1 => {
+                    let feature = r.len()?;
+                    let threshold = r.f64()?;
+                    let left = r.len()?;
+                    let right = r.len()?;
+                    if feature >= n_features || left >= count || right >= count {
+                        return Err(CodecError::Invalid("split indices out of range".into()));
+                    }
+                    CNode::Split {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    }
+                }
+                tag => {
+                    return Err(CodecError::BadTag {
+                        what: "ctree node",
+                        tag,
+                    })
+                }
+            });
+        }
+        Ok(ClassificationTree {
+            nodes,
+            n_features,
+            n_classes,
+        })
     }
 }
 

@@ -74,11 +74,20 @@ impl Engine {
     /// can never disagree with training; feature-free models (harmonic
     /// mean) fall back to the location-only spec for window sizing.
     pub fn start(model: TrainedRegressor, cfg: EngineConfig) -> Engine {
-        let spec = model
+        Self::start_with_registry(Arc::new(ModelRegistry::new(model)), cfg)
+    }
+
+    /// Start the engine from an existing registry — the cold-start path:
+    /// `ModelRegistry::load_dir` restores a saved model (version number and
+    /// all) and the engine serves it with zero retraining, bit-identical to
+    /// the engine that saved it.
+    pub fn start_with_registry(registry: Arc<ModelRegistry>, cfg: EngineConfig) -> Engine {
+        let spec = registry
+            .current()
+            .regressor
             .spec()
             .copied()
             .unwrap_or_else(|| FeatureSpec::new(FeatureSet::L));
-        let registry = Arc::new(ModelRegistry::new(model));
         let (out_tx, out_rx) = channel::unbounded();
         let nshards = cfg.shards.max(1);
         let mut shards = Vec::with_capacity(nshards);

@@ -5,8 +5,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Sub-buckets per power-of-two octave (≈ ±6 % value resolution).
 const SUBBUCKETS: usize = 8;
-/// Octaves covered: 2^0 .. 2^63 nanoseconds.
-const OCTAVES: usize = 64;
+/// Values `1..=LINEAR_MAX` ns get one exact bucket each; the sub-bucket
+/// shift `v >> (octave - 3)` only makes sense once an octave holds at least
+/// `SUBBUCKETS` distinct values, i.e. from octave 4 (values ≥ 16) up.
+const LINEAR_MAX: u64 = 15;
+/// First octave that is sub-bucketed (values `16..=31`).
+const FIRST_OCTAVE: usize = 4;
+/// Sub-bucketed octaves: 2^4 .. 2^63 nanoseconds.
+const OCTAVES: usize = 64 - FIRST_OCTAVE;
+/// Total bucket count: 15 linear + 60 octaves × 8 sub-buckets.
+const NBUCKETS: usize = LINEAR_MAX as usize + OCTAVES * SUBBUCKETS;
 
 /// A fixed-size log-bucketed histogram of nanosecond latencies.
 ///
@@ -39,9 +47,7 @@ impl LatencyHistogram {
     /// Empty histogram.
     pub fn new() -> Self {
         LatencyHistogram {
-            buckets: (0..OCTAVES * SUBBUCKETS)
-                .map(|_| AtomicU64::new(0))
-                .collect(),
+            buckets: (0..NBUCKETS).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
         }
@@ -49,26 +55,30 @@ impl LatencyHistogram {
 
     fn bucket_of(ns: u64) -> usize {
         let v = ns.max(1);
+        if v <= LINEAR_MAX {
+            // One exact bucket per value — the old `(v as usize) & 0x7`
+            // fallback folded octaves 0–3 onto each other (e.g. 1 ns and
+            // 9 ns shared a bucket) and disagreed with `bucket_value`.
+            return (v - 1) as usize;
+        }
         let octave = 63 - v.leading_zeros() as usize;
-        let frac = if octave >= 3 {
-            ((v >> (octave - 3)) & 0x7) as usize
-        } else {
-            // Values < 8 ns sit in the low octaves where the sub-bucket
-            // shift would underflow; linear within the octave is exact.
-            (v as usize) & 0x7
-        };
-        octave * SUBBUCKETS + frac
+        let frac = ((v >> (octave - 3)) & 0x7) as usize;
+        LINEAR_MAX as usize + (octave - FIRST_OCTAVE) * SUBBUCKETS + frac
     }
 
-    /// Representative (upper-edge) value of a bucket, ns.
+    /// Inclusive upper edge of a bucket, ns: the largest value that
+    /// `bucket_of` maps to `idx` (so `bucket_of(bucket_value(idx)) == idx`
+    /// for every index, and edges strictly increase).
     fn bucket_value(idx: usize) -> u64 {
-        let octave = idx / SUBBUCKETS;
-        let frac = (idx % SUBBUCKETS) as u64;
-        if octave >= 3 {
-            (1u64 << octave) + ((frac + 1) << (octave - 3))
-        } else {
-            frac + 1
+        if idx < LINEAR_MAX as usize {
+            return idx as u64 + 1;
         }
+        let rest = idx - LINEAR_MAX as usize;
+        let octave = FIRST_OCTAVE + rest / SUBBUCKETS;
+        let frac = (rest % SUBBUCKETS) as u64;
+        // Written so the top bucket (octave 63, frac 7) lands exactly on
+        // u64::MAX instead of overflowing: 2^o − 1 + (f+1)·2^(o−3).
+        ((1u64 << octave) - 1) + ((frac + 1) << (octave - 3))
     }
 
     /// Record one latency.
@@ -105,7 +115,7 @@ impl LatencyHistogram {
                 return Self::bucket_value(i);
             }
         }
-        Self::bucket_value(OCTAVES * SUBBUCKETS - 1)
+        Self::bucket_value(NBUCKETS - 1)
     }
 
     /// Fold another histogram into this one (for cross-shard aggregation).
@@ -259,5 +269,40 @@ mod tests {
         }
         assert_eq!(h.count(), 16);
         assert!(h.quantile_ns(1.0) >= 8);
+    }
+
+    #[test]
+    fn bucket_edges_strictly_increase_and_are_consistent() {
+        let mut prev = 0u64;
+        for idx in 0..NBUCKETS {
+            let edge = LatencyHistogram::bucket_value(idx);
+            assert!(edge > prev, "bucket {idx}: edge {edge} after {prev}");
+            // The inclusive upper edge must map back to its own bucket.
+            assert_eq!(LatencyHistogram::bucket_of(edge), idx);
+            prev = edge;
+        }
+        assert_eq!(LatencyHistogram::bucket_value(NBUCKETS - 1), u64::MAX);
+        assert_eq!(LatencyHistogram::bucket_of(u64::MAX), NBUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_of_is_monotone_and_exact_at_low_values() {
+        // Every value up to 64 must land in a bucket whose inclusive edge
+        // is ≥ the value, and bucket indices must never go backwards.
+        let mut prev_idx = 0;
+        for v in 1..=64u64 {
+            let idx = LatencyHistogram::bucket_of(v);
+            assert!(idx >= prev_idx, "bucket_of({v}) = {idx} < {prev_idx}");
+            assert!(LatencyHistogram::bucket_value(idx) >= v);
+            prev_idx = idx;
+        }
+        // The old low-octave fallback collapsed 1 ns and 9 ns together;
+        // sub-16 values now get one exact bucket each.
+        for v in 1..=LINEAR_MAX {
+            assert_eq!(
+                LatencyHistogram::bucket_value(LatencyHistogram::bucket_of(v)),
+                v
+            );
+        }
     }
 }

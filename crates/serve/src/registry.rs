@@ -1,12 +1,19 @@
-//! Versioned model registry with atomic hot swap.
+//! Versioned model registry with atomic hot swap and disk persistence.
 //!
 //! Shards read the current model once per record; an operator thread can
 //! [`ModelRegistry::swap`] in a retrained model at any time without pausing
 //! ingest. Records already dispatched keep the `Arc` of the version they
 //! started with — a swap can never tear a prediction.
+//!
+//! [`ModelRegistry::store`] writes the served model to a directory as
+//! `model-v{version}.l5gm`; [`ModelRegistry::load_dir`] cold-starts a
+//! registry from the highest version found there, so a restarted engine
+//! serves bit-identical predictions with zero retraining.
 
+use lumos5g::persist::{self, PersistError, MODEL_EXTENSION};
 use lumos5g::TrainedRegressor;
 use parking_lot::RwLock;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// One published model generation.
@@ -27,12 +34,51 @@ pub struct ModelRegistry {
 impl ModelRegistry {
     /// Publish the initial model as version 1.
     pub fn new(model: TrainedRegressor) -> Self {
+        Self::with_version(model, 1)
+    }
+
+    /// Publish the initial model at an explicit version (used when
+    /// restoring from disk, so version numbers survive restarts).
+    pub fn with_version(model: TrainedRegressor, version: u64) -> Self {
         ModelRegistry {
             current: RwLock::new(Arc::new(ModelVersion {
-                version: 1,
+                version,
                 regressor: Arc::new(model),
             })),
         }
+    }
+
+    /// Save the currently served model to `dir/model-v{version}.l5gm`
+    /// (creating `dir` as needed) and return the written path.
+    pub fn store(&self, dir: &Path) -> Result<PathBuf, PersistError> {
+        let held = self.current();
+        let path = dir.join(format!("model-v{}.{MODEL_EXTENSION}", held.version));
+        persist::save_regressor(&held.regressor, &path)?;
+        Ok(path)
+    }
+
+    /// Cold-start a registry from a directory written by [`Self::store`]:
+    /// the highest `model-v*.l5gm` version wins and is published at its
+    /// saved version number. Errors if the directory holds no model files.
+    pub fn load_dir(dir: &Path) -> Result<Self, PersistError> {
+        let mut newest: Option<(u64, PathBuf)> = None;
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            let Some(version) = path.file_name().and_then(|n| parse_version(n.to_str()?)) else {
+                continue;
+            };
+            if newest.as_ref().is_none_or(|(v, _)| version > *v) {
+                newest = Some((version, path));
+            }
+        }
+        let (version, path) = newest.ok_or_else(|| {
+            PersistError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no model-v*.{MODEL_EXTENSION} files in {}", dir.display()),
+            ))
+        })?;
+        let model = persist::load_regressor(&path)?;
+        Ok(Self::with_version(model, version))
     }
 
     /// Replace the served model; returns the new version number.
@@ -55,6 +101,14 @@ impl ModelRegistry {
     pub fn version(&self) -> u64 {
         self.current.read().version
     }
+}
+
+/// Parse `model-v{N}.l5gm` → `N`.
+fn parse_version(name: &str) -> Option<u64> {
+    name.strip_prefix("model-v")?
+        .strip_suffix(".l5gm")?
+        .parse()
+        .ok()
 }
 
 #[cfg(test)]
@@ -87,5 +141,45 @@ mod tests {
             TrainedRegressor::Harmonic { window: 5 }
         ));
         assert_eq!(reg.current().version, 2);
+    }
+
+    #[test]
+    fn version_filenames_parse() {
+        assert_eq!(parse_version("model-v12.l5gm"), Some(12));
+        assert_eq!(parse_version("model-v0.l5gm"), Some(0));
+        assert_eq!(parse_version("model-v.l5gm"), None);
+        assert_eq!(parse_version("model-v12.bin"), None);
+        assert_eq!(parse_version("checkpoint.l5gm"), None);
+    }
+
+    #[test]
+    fn store_then_load_dir_picks_the_highest_version() {
+        let dir = std::env::temp_dir().join(format!("l5gm-registry-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let reg = ModelRegistry::new(dummy_model(5));
+        reg.store(&dir).unwrap(); // model-v1
+        reg.swap(dummy_model(7));
+        reg.swap(dummy_model(9));
+        let path = reg.store(&dir).unwrap(); // model-v3
+        assert!(path.ends_with("model-v3.l5gm"));
+        // Clutter the directory: loaders must skip foreign files.
+        std::fs::write(dir.join("notes.txt"), b"not a model").unwrap();
+
+        let restored = ModelRegistry::load_dir(&dir).unwrap();
+        assert_eq!(restored.version(), 3);
+        assert!(matches!(
+            *restored.current().regressor,
+            TrainedRegressor::Harmonic { window: 9 }
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_dir_without_models_errors() {
+        let dir = std::env::temp_dir().join(format!("l5gm-registry-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(ModelRegistry::load_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

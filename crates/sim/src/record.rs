@@ -117,6 +117,36 @@ impl Record {
     pub fn true_pos(&self) -> Point2 {
         Point2::new(self.true_x_m, self.true_y_m)
     }
+
+    /// `Err(field name)` when any numeric field is NaN or infinite. A single
+    /// corrupt logger sample must be rejected here, at the dataset boundary,
+    /// instead of panicking deep inside a model fit or a serving shard.
+    pub fn check_finite(&self) -> Result<(), &'static str> {
+        let fields: [(&'static str, f64); 16] = [
+            ("lat", self.lat),
+            ("lon", self.lon),
+            ("gps_accuracy_m", self.gps_accuracy_m),
+            ("moving_speed_mps", self.moving_speed_mps),
+            ("compass_deg", self.compass_deg),
+            ("throughput_mbps", self.throughput_mbps),
+            ("lte_rsrp_dbm", self.lte_rsrp_dbm),
+            ("nr_ssrsrp_dbm", self.nr_ssrsrp_dbm),
+            ("panel_distance_m", self.panel_distance_m),
+            ("theta_p_deg", self.theta_p_deg),
+            ("theta_m_deg", self.theta_m_deg),
+            ("snapped_x_m", self.snapped_x_m),
+            ("snapped_y_m", self.snapped_y_m),
+            ("true_x_m", self.true_x_m),
+            ("true_y_m", self.true_y_m),
+            ("true_speed_mps", self.true_speed_mps),
+        ];
+        for (name, v) in fields {
+            if !v.is_finite() {
+                return Err(name);
+            }
+        }
+        Ok(())
+    }
 }
 
 /// A bag of records with grouping helpers used throughout the analyses.
@@ -235,6 +265,20 @@ impl Dataset {
         Dataset::new(self.records.iter().filter(|r| f(r)).cloned().collect())
     }
 
+    /// `Err` describing the first record with a non-finite numeric field.
+    /// Model fitting calls this before extracting features.
+    pub fn check_finite(&self) -> Result<(), String> {
+        for (i, r) in self.records.iter().enumerate() {
+            if let Err(field) = r.check_finite() {
+                return Err(format!(
+                    "record {i} (pass {}, t {}): non-finite {field}",
+                    r.pass_id, r.t
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// CSV header used by [`Self::to_csv`].
     pub const CSV_HEADER: &'static str = "area,pass_id,trajectory,t,lat,lon,gps_accuracy_m,activity,moving_speed_mps,compass_deg,throughput_mbps,on_5g,cell_id,lte_rsrp_dbm,nr_ssrsrp_dbm,horizontal_handoff,vertical_handoff,panel_distance_m,theta_p_deg,theta_m_deg,pixel_x,pixel_y,snapped_x_m,snapped_y_m,true_x_m,true_y_m,true_speed_mps";
 
@@ -308,7 +352,9 @@ impl Dataset {
                 ));
             }
             let err = |what: &str| format!("line {}: bad {}", lineno + 2, what);
-            records.push(Record {
+            // Rust's f64 parser accepts "NaN"/"inf", so finiteness needs an
+            // explicit check after field parsing (see push below).
+            let record = Record {
                 area: f[0].parse().map_err(|_| err("area"))?,
                 pass_id: f[1].parse().map_err(|_| err("pass_id"))?,
                 trajectory: f[2].parse().map_err(|_| err("trajectory"))?,
@@ -336,7 +382,11 @@ impl Dataset {
                 true_x_m: f[24].parse().map_err(|_| err("true_x"))?,
                 true_y_m: f[25].parse().map_err(|_| err("true_y"))?,
                 true_speed_mps: f[26].parse().map_err(|_| err("true_speed"))?,
-            });
+            };
+            record
+                .check_finite()
+                .map_err(|field| format!("line {}: non-finite {}", lineno + 2, field))?;
+            records.push(record);
         }
         Ok(Dataset::new(records))
     }
@@ -476,6 +526,31 @@ mod tests {
         // No collision → pass ids untouched.
         assert_eq!(a.records[1].pass_id, 7);
         assert_eq!(a.traces().len(), 2);
+    }
+
+    #[test]
+    fn from_csv_rejects_nan_fields() {
+        // "NaN" parses fine as f64, so the boundary check must catch it.
+        let mut bad = dummy(0, 100.0);
+        bad.throughput_mbps = f64::NAN;
+        let csv = Dataset::new(vec![dummy(0, 50.0), bad]).to_csv();
+        let got = Dataset::from_csv(&csv);
+        assert!(got.is_err(), "NaN row must be rejected");
+        assert!(got.unwrap_err().contains("non-finite"));
+    }
+
+    #[test]
+    fn check_finite_names_the_offending_field() {
+        let mut bad = dummy(3, 100.0);
+        bad.compass_deg = f64::INFINITY;
+        assert_eq!(bad.check_finite(), Err("compass_deg"));
+        let ds = Dataset::new(vec![dummy(0, 1.0), bad]);
+        let msg = ds.check_finite().unwrap_err();
+        assert!(
+            msg.contains("compass_deg") && msg.contains("record 1"),
+            "{msg}"
+        );
+        assert!(Dataset::new(vec![dummy(0, 1.0)]).check_finite().is_ok());
     }
 
     #[test]

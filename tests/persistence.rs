@@ -1,0 +1,131 @@
+//! Cold-start integration: a serving engine restored from disk via
+//! `ModelRegistry::load_dir` must serve predictions bit-identical to the
+//! engine that trained the model — with zero retraining.
+
+use lumos5g::{FeatureSet, Lumos5G, ModelKind, TrainedRegressor};
+use lumos5g_ml::forest::ForestConfig;
+use lumos5g_serve::{Engine, EngineConfig, ModelRegistry, OverloadPolicy, ReplaySource};
+use lumos5g_sim::{airport, quality, run_campaign, CampaignConfig, Dataset};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn serving_data(seed: u64) -> Dataset {
+    let area = airport(seed);
+    let cfg = CampaignConfig {
+        passes_per_trajectory: 2,
+        max_duration_s: 160,
+        base_seed: seed,
+        bad_gps_fraction: 0.0,
+        ..Default::default()
+    };
+    let raw = run_campaign(&area, &cfg);
+    quality::apply(&raw, &area.frame, &Default::default()).0
+}
+
+fn engine_cfg() -> EngineConfig {
+    EngineConfig {
+        shards: 3,
+        queue_capacity: 256,
+        policy: OverloadPolicy::Block,
+    }
+}
+
+/// Replay `src` through an engine built from `registry`; predictions keyed
+/// by (ue, pass, t) so runs with different shard interleavings compare.
+fn replay(registry: Arc<ModelRegistry>, src: &ReplaySource) -> Vec<(u64, u32, u32, Option<u64>)> {
+    let engine = Engine::start_with_registry(registry, engine_cfg());
+    let stats = src.run(&engine, 0.0);
+    assert_eq!(stats.shed, 0);
+    let (report, responses) = engine.shutdown();
+    assert_eq!(report.processed, stats.submitted);
+    let mut out: Vec<_> = responses
+        .iter()
+        .map(|p| (p.ue, p.pass_id, p.t, p.predicted_mbps.map(f64::to_bits)))
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("l5gm-coldstart-{tag}-{}", std::process::id()))
+}
+
+#[test]
+fn cold_start_serves_bit_identical_predictions_for_every_family() {
+    let data = serving_data(71);
+    let src = ReplaySource::from_dataset(&data, 6);
+    let mut gbdt = lumos5g::quick_gbdt();
+    gbdt.n_estimators = 40;
+    let families: Vec<(&str, ModelKind)> = vec![
+        ("gdbt", ModelKind::Gdbt(gbdt)),
+        ("knn", ModelKind::Knn { k: 5 }),
+        (
+            "rf",
+            ModelKind::RandomForest(ForestConfig {
+                n_trees: 12,
+                ..Default::default()
+            }),
+        ),
+    ];
+    for (name, kind) in families {
+        let model = Lumos5G::new(FeatureSet::LM, kind)
+            .fit_regression(&data)
+            .unwrap();
+
+        // Warm path: serve the freshly trained model and persist it.
+        let warm = Arc::new(ModelRegistry::new(model));
+        let dir = temp_dir(name);
+        std::fs::remove_dir_all(&dir).ok();
+        warm.store(&dir).unwrap();
+        let warm_preds = replay(warm, &src);
+
+        // Cold path: a "restarted" process restores the registry from disk
+        // — no Dataset, no fit — and must reproduce every prediction bit.
+        let cold = Arc::new(ModelRegistry::load_dir(&dir).unwrap());
+        assert_eq!(cold.version(), 1, "{name}: saved version must survive");
+        let cold_preds = replay(cold, &src);
+
+        assert_eq!(warm_preds.len(), cold_preds.len(), "{name}");
+        for (w, c) in warm_preds.iter().zip(&cold_preds) {
+            assert_eq!(w, c, "{name}: cold-start prediction diverged");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn load_dir_restores_the_latest_of_several_saved_versions() {
+    let data = serving_data(73);
+    let dir = temp_dir("versions");
+    std::fs::remove_dir_all(&dir).ok();
+
+    let registry = ModelRegistry::new(
+        Lumos5G::new(FeatureSet::L, ModelKind::Knn { k: 3 })
+            .fit_regression(&data)
+            .unwrap(),
+    );
+    registry.store(&dir).unwrap(); // model-v1: KNN
+    let mut cfg = lumos5g::quick_gbdt();
+    cfg.n_estimators = 20;
+    registry.swap(
+        Lumos5G::new(FeatureSet::LM, ModelKind::Gdbt(cfg))
+            .fit_regression(&data)
+            .unwrap(),
+    );
+    registry.store(&dir).unwrap(); // model-v2: GDBT
+
+    let restored = ModelRegistry::load_dir(&dir).unwrap();
+    assert_eq!(restored.version(), 2);
+    assert!(matches!(
+        *restored.current().regressor,
+        TrainedRegressor::Gdbt { .. }
+    ));
+    // The restored v2 must be the same model bit-for-bit.
+    let (_, want) = registry.current().regressor.eval(&data);
+    let (_, got) = restored.current().regressor.eval(&data);
+    assert_eq!(want.len(), got.len());
+    for (w, g) in want.iter().zip(&got) {
+        assert_eq!(w.to_bits(), g.to_bits());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -147,6 +147,22 @@ fn online_predictions_bit_match_offline_eval() {
     offline_pairs.sort_unstable();
     online_pairs.sort_unstable();
     assert_eq!(offline_pairs, online_pairs);
+
+    // Persistence leg: a codec round trip of the model must serve the
+    // replay with the exact same bits as the in-memory original.
+    let restored =
+        lumos5g::persist::decode_regressor(&lumos5g::persist::encode_regressor(&model).unwrap())
+            .unwrap();
+    let restored_responses = run_replay(restored, &src);
+    let key_pred = |ps: &[Prediction]| {
+        let mut v: Vec<_> = ps
+            .iter()
+            .map(|p| (p.ue, p.pass_id, p.t, p.predicted_mbps.map(f64::to_bits)))
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(key_pred(&responses), key_pred(&restored_responses));
 }
 
 #[test]
