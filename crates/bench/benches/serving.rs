@@ -75,6 +75,7 @@ fn bench_engine_closed_loop(c: &mut Criterion) {
                     shards: 4,
                     queue_capacity: 1024,
                     policy: OverloadPolicy::Block,
+                    ..Default::default()
                 },
             );
             let rx = engine.responses().clone();

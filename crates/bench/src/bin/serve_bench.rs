@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p lumos5g-bench --bin serve_bench -- \
 //!     [--shards N] [--ues N] [--rounds N] [--seed N] [--quick] \
-//!     [--save-models DIR] [--load-models DIR]
+//!     [--save-models DIR] [--load-models DIR] [--chaos SEED]
 //! ```
 //!
 //! Simulates a campaign, trains a GDBT (L+M) regressor, replays the
@@ -15,17 +15,24 @@
 //! `--save-models DIR` writes the served model to `DIR/model-v1.l5gm`;
 //! `--load-models DIR` cold-starts from the highest version saved there
 //! and skips training entirely — the loaded model is bit-identical.
+//!
+//! `--chaos SEED` installs a deterministic `FaultPlan`: source records are
+//! corrupted, models panic / emit NaN / blow their budget, and workers are
+//! killed mid-stream, all keyed off SEED. The bench then asserts the
+//! fault-tolerance contract: every accepted record is answered exactly
+//! once, no response carries a non-finite prediction, and the online MAE
+//! stays finite.
 
 use lumos5g::{quick_gbdt, FeatureSet, Lumos5G, ModelKind};
 use lumos5g_bench::TableWriter;
-use lumos5g_serve::{Engine, EngineConfig, ModelRegistry, OverloadPolicy, ReplaySource};
+use lumos5g_serve::{Engine, EngineConfig, FaultPlan, ModelRegistry, OverloadPolicy, ReplaySource};
 use lumos5g_sim::{airport, quality, run_campaign, CampaignConfig};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
 const USAGE: &str = "usage: serve_bench [--shards N] [--ues N] [--rounds N] [--seed N] \
-                     [--quick] [--save-models DIR] [--load-models DIR]";
+                     [--quick] [--save-models DIR] [--load-models DIR] [--chaos SEED]";
 
 struct Args {
     shards: usize,
@@ -35,6 +42,7 @@ struct Args {
     quick: bool,
     save_models: Option<PathBuf>,
     load_models: Option<PathBuf>,
+    chaos: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -46,6 +54,7 @@ fn parse_args() -> Args {
         quick: false,
         save_models: None,
         load_models: None,
+        chaos: None,
     };
     fn numeric(argv: &[String], i: usize, name: &str) -> u64 {
         argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -89,6 +98,10 @@ fn parse_args() -> Args {
             "--load-models" => {
                 i += 1;
                 args.load_models = Some(dir(&argv, i, "--load-models"));
+            }
+            "--chaos" => {
+                i += 1;
+                args.chaos = Some(numeric(&argv, i, "--chaos"));
             }
             other => {
                 eprintln!("unknown argument {other}");
@@ -154,7 +167,15 @@ fn main() {
         eprintln!("saved model to {}", path.display());
     }
 
-    let src = ReplaySource::from_dataset(&data, args.ues);
+    let plan = args.chaos.map(|seed| Arc::new(FaultPlan::seeded(seed)));
+    let mut src = ReplaySource::from_dataset(&data, args.ues);
+    if let Some(plan) = &plan {
+        eprintln!(
+            "chaos mode (seed {}): corrupting source records and injecting model/worker faults",
+            plan.seed()
+        );
+        src = src.corrupted(plan);
+    }
     eprintln!(
         "replaying {} events x {} rounds over {} UEs into {} shards...",
         src.len(),
@@ -163,13 +184,15 @@ fn main() {
         args.shards
     );
 
-    let engine = Engine::start_with_registry(
+    let engine = Engine::start_with_faults(
         Arc::new(registry),
         EngineConfig {
             shards: args.shards,
             queue_capacity: 1024,
             policy: OverloadPolicy::Block,
+            predict_budget: None,
         },
+        plan.clone(),
     );
     // Closed loop: drain responses concurrently so the engine never stalls
     // on its (unbounded) output.
@@ -184,17 +207,32 @@ fn main() {
 
     let start = Instant::now();
     let mut submitted = 0u64;
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
     for _ in 0..rounds {
         let stats = src.run(&engine, 0.0);
         submitted += stats.submitted;
+        accepted += stats.accepted;
+        rejected += stats.rejected;
     }
     let (report, responses) = engine.shutdown();
     drop(responses);
     let consumed = consumer.join().unwrap();
     let wall = start.elapsed();
 
-    assert_eq!(report.processed, submitted, "engine dropped records");
-    assert_eq!(consumed, submitted, "responses were lost");
+    // The fault-tolerance contract: every accepted record is answered
+    // exactly once, even under sustained chaos.
+    assert_eq!(
+        accepted + rejected,
+        submitted,
+        "submission tallies disagree"
+    );
+    assert_eq!(report.processed, accepted, "engine dropped records");
+    assert_eq!(consumed, accepted, "responses were lost");
+    assert_eq!(report.rejected, rejected, "admission counters disagree");
+    if let Some(mae) = report.mae_mbps {
+        assert!(mae.is_finite(), "online MAE went non-finite: {mae}");
+    }
     let preds_per_sec = report.processed as f64 / wall.as_secs_f64();
 
     let us = |ns: u64| format!("{:.1}", ns as f64 / 1000.0);
@@ -206,6 +244,10 @@ fn main() {
             "predictions",
             "warmups",
             "resets",
+            "quarantined",
+            "fallbacks",
+            "panicked",
+            "restarted",
             "p50_us",
             "p95_us",
             "p99_us",
@@ -218,12 +260,45 @@ fn main() {
             s.predictions.to_string(),
             s.warmups.to_string(),
             s.resets.to_string(),
+            s.quarantined.to_string(),
+            s.fallbacks.to_string(),
+            s.panicked.to_string(),
+            s.restarted.to_string(),
             us(s.p50_ns),
             us(s.p95_ns),
             us(s.p99_ns),
         ]);
     }
     shard_table.print();
+
+    if args.chaos.is_some() {
+        let mut chaos_table = TableWriter::new(
+            "Chaos run: fault-tolerance counters (zero lost responses asserted)",
+            &[
+                "accepted",
+                "rejected",
+                "quarantined",
+                "fallbacks",
+                "panicked",
+                "restarted",
+                "degraded_ppm",
+            ],
+        );
+        let degraded = report.quarantined + report.fallbacks;
+        chaos_table.row(&[
+            accepted.to_string(),
+            rejected.to_string(),
+            report.quarantined.to_string(),
+            report.fallbacks.to_string(),
+            report.panicked.to_string(),
+            report.restarted.to_string(),
+            format!("{}", degraded * 1_000_000 / accepted.max(1)),
+        ]);
+        chaos_table.print();
+        chaos_table
+            .save_csv(Path::new("results/serving_chaos.csv"))
+            .expect("write results/serving_chaos.csv");
+    }
 
     let mut summary = TableWriter::new(
         "Serving engine: sustained closed-loop throughput (GDBT L+M)",
@@ -253,15 +328,21 @@ fn main() {
     ]);
     summary.print();
 
-    summary
-        .save_csv(Path::new("results/serving.csv"))
-        .expect("write results/serving.csv");
-    shard_table
-        .save_csv(Path::new("results/serving_shards.csv"))
-        .expect("write results/serving_shards.csv");
-    eprintln!("saved results/serving.csv and results/serving_shards.csv");
+    // Chaos-run throughput is not the headline number: keep the committed
+    // fault-free artifacts intact and save only the chaos counters above.
+    if args.chaos.is_none() {
+        summary
+            .save_csv(Path::new("results/serving.csv"))
+            .expect("write results/serving.csv");
+        shard_table
+            .save_csv(Path::new("results/serving_shards.csv"))
+            .expect("write results/serving_shards.csv");
+        eprintln!("saved results/serving.csv and results/serving_shards.csv");
+    }
 
-    if preds_per_sec < 100_000.0 && !args.quick {
+    // Supervisor respawns and fallback work make the throughput target
+    // meaningless under chaos; the contract assertions above are the gate.
+    if preds_per_sec < 100_000.0 && !args.quick && args.chaos.is_none() {
         eprintln!("WARNING: below the 100k predictions/sec target ({preds_per_sec:.0}/s)");
         std::process::exit(1);
     }

@@ -1,16 +1,32 @@
-//! The serving engine: shard pool, UE-affinity routing, lifecycle and
-//! aggregate reporting.
+//! The serving engine: shard pool, UE-affinity routing, admission control,
+//! worker supervision, lifecycle and aggregate reporting.
+//!
+//! Fault tolerance is layered (see also `shard.rs`):
+//!
+//! 1. **Admission control** — [`Engine::offer`] validates every record at
+//!    the front door; malformed telemetry (non-finite throughput, RSRP or
+//!    coordinates, absurd GPS accuracy) is rejected with a typed
+//!    [`RejectReason`] and counted, never routed to a shard.
+//! 2. **Shard supervision** — a supervisor thread watches every worker;
+//!    when one dies (a panic escaped the per-record isolation, or an
+//!    injected chaos kill), it is respawned on the same ingest queue with
+//!    sessions rebuilt cold, and the death is counted per shard
+//!    (`panicked` / `restarted`) instead of poisoning
+//!    [`Engine::shutdown`].
 
+use crate::fault::FaultPlan;
 use crate::metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics};
 use crate::queue::{IngestQueue, OverloadPolicy};
 use crate::registry::ModelRegistry;
-use crate::shard::{run_shard, Ingest, Prediction};
-use crossbeam::channel::{self, Receiver};
-use lumos5g::{FeatureSet, FeatureSpec, TrainedRegressor};
+use crate::shard::{run_shard, Ingest, Prediction, ShardContext};
+use crossbeam::channel::{self, Receiver, Sender};
+use lumos5g::TrainedRegressor;
+use lumos5g::{FeatureSet, FeatureSpec};
 use lumos5g_sim::Record;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Engine sizing and behavior.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,6 +37,11 @@ pub struct EngineConfig {
     pub queue_capacity: usize,
     /// What to do when a shard queue is full.
     pub policy: OverloadPolicy,
+    /// Per-call model time budget: a `predict_one` slower than this is
+    /// answered by the harmonic fallback instead (tagged `degraded`).
+    /// `None` (the default) disables the clock entirely, keeping the
+    /// fault-free hot path free of `Instant::now` calls.
+    pub predict_budget: Option<Duration>,
 }
 
 impl Default for EngineConfig {
@@ -29,7 +50,103 @@ impl Default for EngineConfig {
             shards: 4,
             queue_capacity: 1024,
             policy: OverloadPolicy::Block,
+            predict_budget: None,
         }
+    }
+}
+
+/// Why a record was refused at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// `throughput_mbps` is NaN or infinite.
+    NonFiniteThroughput,
+    /// LTE RSRP or NR SS-RSRP is NaN or infinite.
+    NonFiniteSignal,
+    /// Latitude or longitude is NaN or infinite.
+    NonFiniteCoords,
+    /// GPS accuracy is non-finite, negative, or beyond any plausible
+    /// sensor output (> [`MAX_GPS_ACCURACY_M`]).
+    AbsurdGpsAccuracy,
+}
+
+/// GPS accuracy ceiling: a reported accuracy radius beyond 10 km is sensor
+/// garbage, not a usable fix.
+pub const MAX_GPS_ACCURACY_M: f64 = 10_000.0;
+
+impl RejectReason {
+    /// Number of reasons (for fixed-size counters).
+    pub const COUNT: usize = 4;
+
+    /// Dense index for counter arrays.
+    pub fn index(self) -> usize {
+        match self {
+            RejectReason::NonFiniteThroughput => 0,
+            RejectReason::NonFiniteSignal => 1,
+            RejectReason::NonFiniteCoords => 2,
+            RejectReason::AbsurdGpsAccuracy => 3,
+        }
+    }
+
+    /// All reasons, in `index` order.
+    pub fn all() -> [RejectReason; Self::COUNT] {
+        [
+            RejectReason::NonFiniteThroughput,
+            RejectReason::NonFiniteSignal,
+            RejectReason::NonFiniteCoords,
+            RejectReason::AbsurdGpsAccuracy,
+        ]
+    }
+}
+
+/// Validate one record at the engine front door.
+pub fn admit(record: &Record) -> Result<(), RejectReason> {
+    if !record.throughput_mbps.is_finite() {
+        return Err(RejectReason::NonFiniteThroughput);
+    }
+    if !record.lte_rsrp_dbm.is_finite() || !record.nr_ssrsrp_dbm.is_finite() {
+        return Err(RejectReason::NonFiniteSignal);
+    }
+    if !record.lat.is_finite() || !record.lon.is_finite() {
+        return Err(RejectReason::NonFiniteCoords);
+    }
+    if !record.gps_accuracy_m.is_finite()
+        || record.gps_accuracy_m < 0.0
+        || record.gps_accuracy_m > MAX_GPS_ACCURACY_M
+    {
+        return Err(RejectReason::AbsurdGpsAccuracy);
+    }
+    Ok(())
+}
+
+/// Outcome of [`Engine::offer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Routed to a shard; exactly one response will be emitted (unless a
+    /// `Deadline` policy sheds it as stale at dequeue).
+    Accepted,
+    /// Dropped by the overload policy (or the shard is gone); counted in
+    /// `shed`.
+    Shed,
+    /// Refused by admission control; counted in `rejected`.
+    Rejected(RejectReason),
+}
+
+#[derive(Debug, Default)]
+struct AdmissionMetrics {
+    rejected: [AtomicU64; RejectReason::COUNT],
+}
+
+impl AdmissionMetrics {
+    fn count(&self, reason: RejectReason) {
+        self.rejected[reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn totals(&self) -> [u64; RejectReason::COUNT] {
+        let mut out = [0; RejectReason::COUNT];
+        for (o, c) in out.iter_mut().zip(&self.rejected) {
+            *o = c.load(Ordering::Relaxed);
+        }
+        out
     }
 }
 
@@ -44,6 +161,20 @@ pub struct EngineReport {
     pub predictions: u64,
     /// Records shed at the front door.
     pub shed: u64,
+    /// Records shed at dequeue by the `Deadline` staleness budget.
+    pub shed_stale: u64,
+    /// Records refused by admission control.
+    pub rejected: u64,
+    /// Admission rejections broken down by [`RejectReason`] `index()`.
+    pub rejected_by: [u64; RejectReason::COUNT],
+    /// Poison records quarantined by per-record panic isolation.
+    pub quarantined: u64,
+    /// Responses served by the harmonic fallback predictor.
+    pub fallbacks: u64,
+    /// Worker-thread deaths across shards.
+    pub panicked: u64,
+    /// Supervisor respawns across shards.
+    pub restarted: u64,
     /// Aggregate p50 end-to-end latency, ns.
     pub p50_ns: u64,
     /// Aggregate p95 end-to-end latency, ns.
@@ -54,16 +185,74 @@ pub struct EngineReport {
     pub mae_mbps: Option<f64>,
 }
 
+/// Everything needed to (re)spawn one shard's worker thread.
+struct ShardRuntime {
+    shard_id: usize,
+    ctx: ShardContext,
+    registry: Arc<ModelRegistry>,
+    rx: Receiver<Ingest>,
+    out: Sender<Prediction>,
+    metrics: Arc<ShardMetrics>,
+}
+
+fn spawn_worker(rt: &ShardRuntime) -> JoinHandle<()> {
+    let shard_id = rt.shard_id;
+    let ctx = rt.ctx.clone();
+    let registry = rt.registry.clone();
+    let rx = rt.rx.clone();
+    let out = rt.out.clone();
+    let metrics = rt.metrics.clone();
+    std::thread::Builder::new()
+        .name(format!("serve-shard-{shard_id}"))
+        .spawn(move || run_shard(shard_id, ctx, registry, rx, out, metrics))
+        .expect("spawn shard worker")
+}
+
+/// How often the supervisor polls worker liveness. A dead shard's queue
+/// backs up for at most about this long before the respawn drains it.
+const SUPERVISOR_POLL: Duration = Duration::from_millis(1);
+
+/// Supervise the shard workers until every one of them exits *normally*
+/// (ingest disconnected and drained, i.e. after [`Engine::shutdown`] drops
+/// the queues). A worker that dies — `join` returns `Err` — is counted and
+/// respawned on the same ingest queue; its sessions are rebuilt cold from
+/// the stream. Responses buffered in the channel are never lost, and
+/// records queued behind the death are served by the replacement.
+fn supervise(mut slots: Vec<(ShardRuntime, Option<JoinHandle<()>>)>) {
+    loop {
+        let mut alive = 0usize;
+        for (rt, handle) in slots.iter_mut() {
+            let finished = handle.as_ref().is_some_and(|h| h.is_finished());
+            if finished {
+                let joined = handle.take().expect("handle present").join();
+                if joined.is_err() {
+                    rt.metrics.panicked.fetch_add(1, Ordering::Relaxed);
+                    rt.metrics.restarted.fetch_add(1, Ordering::Relaxed);
+                    *handle = Some(spawn_worker(rt));
+                }
+            }
+            if handle.is_some() {
+                alive += 1;
+            }
+        }
+        if alive == 0 {
+            return; // every worker exited cleanly
+        }
+        std::thread::sleep(SUPERVISOR_POLL);
+    }
+}
+
 struct ShardHandle {
     queue: IngestQueue<Ingest>,
     metrics: Arc<ShardMetrics>,
-    worker: JoinHandle<()>,
 }
 
 /// A running serving engine. See the crate docs for the architecture.
 pub struct Engine {
     shards: Vec<ShardHandle>,
     registry: Arc<ModelRegistry>,
+    admission: AdmissionMetrics,
+    supervisor: JoinHandle<()>,
     responses: Receiver<Prediction>,
 }
 
@@ -82,37 +271,64 @@ impl Engine {
     /// all) and the engine serves it with zero retraining, bit-identical to
     /// the engine that saved it.
     pub fn start_with_registry(registry: Arc<ModelRegistry>, cfg: EngineConfig) -> Engine {
+        Self::start_with_faults(registry, cfg, None)
+    }
+
+    /// Start the engine with a deterministic [`FaultPlan`] installed
+    /// (chaos testing). A `None` plan — or one with all-zero rates — leaves
+    /// the engine bit-identical to [`Self::start_with_registry`].
+    pub fn start_with_faults(
+        registry: Arc<ModelRegistry>,
+        cfg: EngineConfig,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> Engine {
         let spec = registry
             .current()
             .regressor
             .spec()
             .copied()
             .unwrap_or_else(|| FeatureSpec::new(FeatureSet::L));
+        let ctx = ShardContext {
+            spec,
+            stale_after: cfg.policy.stale_after(),
+            predict_budget: cfg.predict_budget,
+            faults,
+        };
         let (out_tx, out_rx) = channel::unbounded();
         let nshards = cfg.shards.max(1);
         let mut shards = Vec::with_capacity(nshards);
+        let mut slots = Vec::with_capacity(nshards);
         for shard_id in 0..nshards {
             let (tx, rx) = channel::bounded(cfg.queue_capacity.max(1));
             let metrics = Arc::new(ShardMetrics::new());
-            let worker = {
-                let registry = registry.clone();
-                let out = out_tx.clone();
-                let metrics = metrics.clone();
-                std::thread::Builder::new()
-                    .name(format!("serve-shard-{shard_id}"))
-                    .spawn(move || run_shard(shard_id, spec, registry, rx, out, metrics))
-                    .expect("spawn shard worker")
+            let rt = ShardRuntime {
+                shard_id,
+                ctx: ctx.clone(),
+                registry: registry.clone(),
+                rx,
+                out: out_tx.clone(),
+                metrics: metrics.clone(),
             };
+            let worker = spawn_worker(&rt);
+            slots.push((rt, Some(worker)));
             shards.push(ShardHandle {
                 queue: IngestQueue::new(tx, cfg.policy),
                 metrics,
-                worker,
             });
         }
-        drop(out_tx); // shards hold the only senders
+        // The workers (and the supervisor's respawn runtimes) hold the only
+        // output senders: the response stream disconnects exactly when the
+        // last worker has exited and supervision ended.
+        drop(out_tx);
+        let supervisor = std::thread::Builder::new()
+            .name("serve-supervisor".into())
+            .spawn(move || supervise(slots))
+            .expect("spawn supervisor");
         Engine {
             shards,
             registry,
+            admission: AdmissionMetrics::default(),
+            supervisor,
             responses: out_rx,
         }
     }
@@ -136,15 +352,31 @@ impl Engine {
         ((z ^ (z >> 31)) % self.shards.len() as u64) as usize
     }
 
-    /// Submit one record for `ue`. Returns `false` when the record was shed
-    /// under [`OverloadPolicy::Shed`].
-    pub fn submit(&self, ue: u64, record: Record) -> bool {
+    /// Offer one record for `ue`, reporting exactly what happened to it:
+    /// admission-validated, then routed to the UE's shard under the
+    /// overload policy.
+    pub fn offer(&self, ue: u64, record: Record) -> SubmitOutcome {
+        if let Err(reason) = admit(&record) {
+            self.admission.count(reason);
+            return SubmitOutcome::Rejected(reason);
+        }
         let shard = self.shard_of(ue);
-        self.shards[shard].queue.push(Ingest {
+        if self.shards[shard].queue.push(Ingest {
             ue,
             record,
             enqueued: Instant::now(),
-        })
+        }) {
+            SubmitOutcome::Accepted
+        } else {
+            SubmitOutcome::Shed
+        }
+    }
+
+    /// Submit one record for `ue`. Returns `false` when the record was not
+    /// accepted (shed under [`OverloadPolicy::Shed`], or rejected by
+    /// admission control — use [`Self::offer`] to distinguish).
+    pub fn submit(&self, ue: u64, record: Record) -> bool {
+        matches!(self.offer(ue, record), SubmitOutcome::Accepted)
     }
 
     /// The response stream (one [`Prediction`] per accepted record).
@@ -161,44 +393,63 @@ impl Engine {
             .collect()
     }
 
+    /// Records refused by admission control so far, by reason index.
+    pub fn rejected_by_reason(&self) -> [u64; RejectReason::COUNT] {
+        self.admission.totals()
+    }
+
     /// Stop ingest, drain the workers and return the final report.
     ///
-    /// Buffered responses remain readable on the receiver returned inside
-    /// the tuple until it is dropped.
+    /// Never panics on a dead shard: workers that died mid-run were already
+    /// respawned by the supervisor and their deaths are reported in the
+    /// per-shard `panicked` / `restarted` counters. Buffered responses
+    /// remain readable on the receiver returned inside the tuple until it
+    /// is dropped.
     pub fn shutdown(self) -> (EngineReport, Receiver<Prediction>) {
         let Engine {
             shards,
             registry: _,
+            admission,
+            supervisor,
             responses,
         } = self;
-        let mut snapshots = Vec::with_capacity(shards.len());
         let agg = LatencyHistogram::new();
         let mut shed = 0;
         // Dropping each queue disconnects that shard's ingest channel; the
-        // worker drains what is buffered and exits.
-        let mut workers = Vec::with_capacity(shards.len());
-        for (i, s) in shards.into_iter().enumerate() {
+        // worker (or its supervised replacement) drains what is buffered
+        // and exits.
+        let mut shard_metrics = Vec::with_capacity(shards.len());
+        for s in shards {
             shed += s.queue.shed_count();
             drop(s.queue);
-            workers.push((i, s.metrics, s.worker));
+            shard_metrics.push(s.metrics);
         }
+        // The supervisor returns once every worker has exited normally —
+        // respawning any that die during the final drain, so even a panic
+        // in the last record cannot lose the records queued behind it.
+        supervisor.join().expect("supervisor never panics");
+        let mut snapshots = Vec::with_capacity(shard_metrics.len());
         let mut err_n = 0u64;
         let mut err_milli_sum = 0u64;
-        for (i, metrics, worker) in workers {
-            worker.join().expect("shard worker panicked");
+        for (i, metrics) in shard_metrics.iter().enumerate() {
             agg.merge(&metrics.latency);
-            err_n += metrics.err_count.load(std::sync::atomic::Ordering::Relaxed);
-            err_milli_sum += metrics
-                .abs_err_milli_sum
-                .load(std::sync::atomic::Ordering::Relaxed);
+            err_n += metrics.err_count.load(Ordering::Relaxed);
+            err_milli_sum += metrics.abs_err_milli_sum.load(Ordering::Relaxed);
             snapshots.push(metrics.snapshot(i, 0));
         }
-        let processed = snapshots.iter().map(|s| s.processed).sum();
-        let predictions = snapshots.iter().map(|s| s.predictions).sum();
+        let sum = |f: fn(&MetricsSnapshot) -> u64| snapshots.iter().map(f).sum::<u64>();
+        let rejected_by = admission.totals();
         let report = EngineReport {
-            processed,
-            predictions,
+            processed: sum(|s| s.processed),
+            predictions: sum(|s| s.predictions),
             shed,
+            shed_stale: sum(|s| s.shed_stale),
+            rejected: rejected_by.iter().sum(),
+            rejected_by,
+            quarantined: sum(|s| s.quarantined),
+            fallbacks: sum(|s| s.fallbacks),
+            panicked: sum(|s| s.panicked),
+            restarted: sum(|s| s.restarted),
             p50_ns: agg.quantile_ns(0.50),
             p95_ns: agg.quantile_ns(0.95),
             p99_ns: agg.quantile_ns(0.99),
@@ -258,6 +509,7 @@ mod tests {
                 shards: 3,
                 queue_capacity: 8,
                 policy: OverloadPolicy::Block,
+                ..Default::default()
             },
         );
         for ue in 0..20u64 {
@@ -268,6 +520,8 @@ mod tests {
         let (report, responses) = engine.shutdown();
         assert_eq!(report.processed, 100);
         assert_eq!(report.shed, 0);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.panicked, 0);
         assert_eq!(responses.iter().count(), 100);
     }
 
@@ -304,6 +558,7 @@ mod tests {
                 shards: 1,
                 queue_capacity: 1,
                 policy: OverloadPolicy::Shed,
+                ..Default::default()
             },
         );
         let mut accepted = 0u64;
@@ -316,5 +571,102 @@ mod tests {
         assert_eq!(report.processed, accepted);
         assert_eq!(report.shed, 20_000 - accepted);
         assert_eq!(responses.iter().count() as u64, accepted);
+    }
+
+    #[test]
+    fn admission_control_rejects_malformed_records() {
+        let engine = Engine::start(
+            TrainedRegressor::Harmonic { window: 5 },
+            EngineConfig {
+                shards: 1,
+                ..Default::default()
+            },
+        );
+        let mut bad_thpt = rec(1, 0, 100.0);
+        bad_thpt.throughput_mbps = f64::NAN;
+        let mut bad_rsrp = rec(1, 1, 100.0);
+        bad_rsrp.nr_ssrsrp_dbm = f64::NEG_INFINITY;
+        let mut bad_coord = rec(1, 2, 100.0);
+        bad_coord.lon = f64::NAN;
+        let mut bad_gps = rec(1, 3, 100.0);
+        bad_gps.gps_accuracy_m = 1e7;
+        assert_eq!(
+            engine.offer(1, bad_thpt),
+            SubmitOutcome::Rejected(RejectReason::NonFiniteThroughput)
+        );
+        assert_eq!(
+            engine.offer(1, bad_rsrp),
+            SubmitOutcome::Rejected(RejectReason::NonFiniteSignal)
+        );
+        assert_eq!(
+            engine.offer(1, bad_coord),
+            SubmitOutcome::Rejected(RejectReason::NonFiniteCoords)
+        );
+        assert_eq!(
+            engine.offer(1, bad_gps),
+            SubmitOutcome::Rejected(RejectReason::AbsurdGpsAccuracy)
+        );
+        assert_eq!(engine.offer(1, rec(1, 4, 100.0)), SubmitOutcome::Accepted);
+        assert_eq!(engine.rejected_by_reason(), [1, 1, 1, 1]);
+        let (report, responses) = engine.shutdown();
+        assert_eq!(report.rejected, 4);
+        assert_eq!(report.rejected_by, [1, 1, 1, 1]);
+        assert_eq!(report.processed, 1, "rejected records never reach a shard");
+        assert_eq!(responses.iter().count(), 1);
+    }
+
+    #[test]
+    fn supervisor_respawns_killed_workers_without_losing_responses() {
+        let mut plan = FaultPlan::new(1);
+        plan.kill_bp = 10_000; // every record kills its worker after answering
+        let engine = Engine::start_with_faults(
+            Arc::new(ModelRegistry::new(TrainedRegressor::Harmonic { window: 5 })),
+            EngineConfig {
+                shards: 1,
+                queue_capacity: 1,
+                policy: OverloadPolicy::Block,
+                ..Default::default()
+            },
+            Some(Arc::new(plan)),
+        );
+        // With capacity 1 and a worker dying per record, submits block on a
+        // dead shard until the supervisor respawns it — progress proves
+        // supervision, not luck.
+        for t in 0..5 {
+            assert!(engine.submit(7, rec(1, t, 100.0)));
+        }
+        let (report, responses) = engine.shutdown();
+        assert_eq!(report.processed, 5);
+        assert_eq!(report.panicked, 5);
+        assert_eq!(report.restarted, 5);
+        let got: Vec<_> = responses.iter().collect();
+        assert_eq!(got.len(), 5, "every record answered across 5 worker deaths");
+        // Sessions rebuild cold after each kill, so ordering is preserved.
+        let ts: Vec<u32> = got.iter().map(|p| p.t).collect();
+        assert_eq!(ts, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deadline_policy_reports_shed_stale() {
+        // A generous budget: nothing real gets shed, but the policy plumbs
+        // through to the shard and the report.
+        let engine = Engine::start(
+            TrainedRegressor::Harmonic { window: 5 },
+            EngineConfig {
+                shards: 2,
+                queue_capacity: 64,
+                policy: OverloadPolicy::Deadline {
+                    max_age: Duration::from_secs(3600),
+                },
+                ..Default::default()
+            },
+        );
+        for t in 0..50 {
+            assert!(engine.submit(3, rec(1, t, 100.0)));
+        }
+        let (report, responses) = engine.shutdown();
+        assert_eq!(report.shed_stale, 0);
+        assert_eq!(report.processed, 50);
+        assert_eq!(responses.iter().count(), 50);
     }
 }

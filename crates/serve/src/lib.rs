@@ -29,8 +29,16 @@
 //!   served model mid-stream; in-flight records finish on the version they
 //!   started with and responses carry the version that produced them.
 //! * **Backpressure** — ingest queues are bounded; [`queue::OverloadPolicy`]
-//!   picks between blocking the producer and shedding load (counted, never
-//!   silent).
+//!   picks between blocking the producer, shedding load (counted, never
+//!   silent), and a dequeue-side staleness deadline.
+//! * **Fault tolerance** — admission control rejects malformed telemetry at
+//!   the front door with a typed [`engine::RejectReason`]; per-record panic
+//!   isolation quarantines poison records; a harmonic fallback chain
+//!   answers (tagged `degraded`) when the model panics, returns non-finite,
+//!   or blows its time budget; and a supervisor respawns dead shard workers
+//!   instead of failing shutdown. [`fault::FaultPlan`] injects all of these
+//!   failures deterministically for chaos testing
+//!   (`serve_bench --chaos <seed>`, `tests/chaos.rs`).
 //! * **Observability** — per-shard counters, log-bucketed latency
 //!   histograms (p50/p95/p99), queue-depth gauges and online
 //!   prediction-error tracking ([`metrics`]).
@@ -40,6 +48,7 @@
 //! (`cargo run -p lumos5g-bench --bin serve_bench`).
 
 pub mod engine;
+pub mod fault;
 pub mod metrics;
 pub mod queue;
 pub mod registry;
@@ -47,10 +56,11 @@ pub mod replay;
 pub mod session;
 pub mod shard;
 
-pub use engine::{Engine, EngineConfig, EngineReport};
+pub use engine::{admit, Engine, EngineConfig, EngineReport, RejectReason, SubmitOutcome};
+pub use fault::{Corruption, FaultPlan, PredictFault, RecordFault, RecordKey};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics};
 pub use queue::OverloadPolicy;
 pub use registry::{ModelRegistry, ModelVersion};
 pub use replay::{ReplaySource, ReplayStats};
 pub use session::Session;
-pub use shard::{Ingest, Prediction};
+pub use shard::{Ingest, Prediction, ShardContext};

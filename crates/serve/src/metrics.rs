@@ -141,6 +141,24 @@ pub struct ShardMetrics {
     pub warmups: AtomicU64,
     /// Session-window resets caused by stream discontinuities.
     pub resets: AtomicU64,
+    /// Poison records whose processing panicked inside the shard's
+    /// per-record isolation (the record is quarantined, the session rebuilt
+    /// cold, and a degraded response still emitted).
+    pub quarantined: AtomicU64,
+    /// Responses served by the session-local harmonic fallback because the
+    /// model panicked, returned non-finite, or blew its time budget.
+    pub fallbacks: AtomicU64,
+    /// Records shed at dequeue for exceeding the
+    /// [`OverloadPolicy::Deadline`](crate::queue::OverloadPolicy::Deadline)
+    /// staleness budget.
+    pub shed_stale: AtomicU64,
+    /// Times this shard's worker thread died (panic escaped the per-record
+    /// isolation, or an injected kill). Incremented by the engine
+    /// supervisor.
+    pub panicked: AtomicU64,
+    /// Times the supervisor respawned this shard's worker (sessions rebuilt
+    /// cold).
+    pub restarted: AtomicU64,
     /// End-to-end latency (enqueue → prediction emitted).
     pub latency: LatencyHistogram,
     /// Sum of |predicted − measured| next-second errors, milli-Mbps
@@ -187,6 +205,16 @@ pub struct MetricsSnapshot {
     pub warmups: u64,
     /// Window resets.
     pub resets: u64,
+    /// Poison records quarantined by per-record panic isolation.
+    pub quarantined: u64,
+    /// Responses served by the harmonic fallback predictor.
+    pub fallbacks: u64,
+    /// Records shed at dequeue by the `Deadline` staleness budget.
+    pub shed_stale: u64,
+    /// Worker-thread deaths on this shard.
+    pub panicked: u64,
+    /// Supervisor respawns of this shard's worker.
+    pub restarted: u64,
     /// Ingest-queue depth at snapshot time.
     pub queue_depth: usize,
     /// Median latency, ns.
@@ -208,6 +236,11 @@ impl ShardMetrics {
             predictions: self.predictions.load(Ordering::Relaxed),
             warmups: self.warmups.load(Ordering::Relaxed),
             resets: self.resets.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            fallbacks: self.fallbacks.load(Ordering::Relaxed),
+            shed_stale: self.shed_stale.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            restarted: self.restarted.load(Ordering::Relaxed),
             queue_depth,
             p50_ns: self.latency.quantile_ns(0.50),
             p95_ns: self.latency.quantile_ns(0.95),

@@ -3,6 +3,7 @@
 use crossbeam::channel::{Sender, TrySendError};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// What to do when a shard's ingest queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -13,6 +14,26 @@ pub enum OverloadPolicy {
     /// Drop the record and count it (bounded-latency operation — the right
     /// choice for live telemetry where stale samples are worthless).
     Shed,
+    /// Block on enqueue like [`Self::Block`], but shed records older than
+    /// `max_age` *at dequeue* (counted as `shed_stale` per shard): during a
+    /// backlog — a worker restart, a slow model — the shard burns down the
+    /// queue by skipping samples whose prediction window has already
+    /// passed, instead of serving answers about seconds long gone.
+    Deadline {
+        /// Staleness budget: a record dequeued more than this long after it
+        /// was submitted is dropped without a response.
+        max_age: Duration,
+    },
+}
+
+impl OverloadPolicy {
+    /// The dequeue-side staleness budget, when this policy has one.
+    pub fn stale_after(&self) -> Option<Duration> {
+        match self {
+            OverloadPolicy::Deadline { max_age } => Some(*max_age),
+            _ => None,
+        }
+    }
 }
 
 /// A bounded sender to one shard, applying an [`OverloadPolicy`].
@@ -33,11 +54,21 @@ impl<T> IngestQueue<T> {
         }
     }
 
-    /// Offer one item. Returns `false` only when the item was shed (or the
-    /// shard is gone).
+    /// Offer one item. Returns `false` only when the item was lost — shed
+    /// under [`OverloadPolicy::Shed`], or dropped because the shard is
+    /// gone. Every lost item is counted: a disconnected shard under `Block`
+    /// used to return `false` without incrementing the counter, silently
+    /// under-counting lost records in `EngineReport::shed`.
     pub fn push(&self, item: T) -> bool {
         match self.policy {
-            OverloadPolicy::Block => self.tx.send(item).is_ok(),
+            OverloadPolicy::Block | OverloadPolicy::Deadline { .. } => {
+                if self.tx.send(item).is_ok() {
+                    true
+                } else {
+                    self.shed.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
             OverloadPolicy::Shed => match self.tx.try_send(item) {
                 Ok(()) => true,
                 Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
@@ -75,6 +106,46 @@ mod tests {
         assert_eq!(q.shed_count(), 2);
         assert_eq!(q.depth(), 2);
         assert_eq!(rx.try_recv(), Ok(1));
+    }
+
+    #[test]
+    fn disconnected_shard_drops_are_counted_under_every_policy() {
+        for policy in [
+            OverloadPolicy::Block,
+            OverloadPolicy::Shed,
+            OverloadPolicy::Deadline {
+                max_age: Duration::from_millis(50),
+            },
+        ] {
+            let (tx, rx) = channel::bounded::<u64>(4);
+            let q = IngestQueue::new(tx, policy);
+            drop(rx); // the shard died
+            assert!(!q.push(1), "{policy:?}: push to a dead shard must fail");
+            assert!(!q.push(2));
+            assert_eq!(
+                q.shed_count(),
+                2,
+                "{policy:?}: disconnected drops must be counted, not silent"
+            );
+        }
+    }
+
+    #[test]
+    fn deadline_policy_blocks_losslessly_on_enqueue() {
+        let (tx, rx) = channel::bounded(1);
+        let q = IngestQueue::new(
+            tx,
+            OverloadPolicy::Deadline {
+                max_age: Duration::from_secs(3600),
+            },
+        );
+        let consumer = std::thread::spawn(move || rx.iter().sum::<u64>());
+        for i in 0..100u64 {
+            assert!(q.push(i));
+        }
+        assert_eq!(q.shed_count(), 0);
+        drop(q);
+        assert_eq!(consumer.join().unwrap(), 4950);
     }
 
     #[test]

@@ -58,27 +58,41 @@ impl ModelRegistry {
     }
 
     /// Cold-start a registry from a directory written by [`Self::store`]:
-    /// the highest `model-v*.l5gm` version wins and is published at its
-    /// saved version number. Errors if the directory holds no model files.
+    /// the highest `model-v*.l5gm` version that *decodes* wins and is
+    /// published at its saved version number. A corrupt or truncated newest
+    /// checkpoint — a crash mid-write, a bad disk — is skipped (with a
+    /// warning on stderr) and the next-highest valid version serves
+    /// instead; the cold start only fails when no file decodes at all, in
+    /// which case the newest file's error is returned.
     pub fn load_dir(dir: &Path) -> Result<Self, PersistError> {
-        let mut newest: Option<(u64, PathBuf)> = None;
+        let mut candidates: Vec<(u64, PathBuf)> = Vec::new();
         for entry in std::fs::read_dir(dir)? {
             let path = entry?.path();
             let Some(version) = path.file_name().and_then(|n| parse_version(n.to_str()?)) else {
                 continue;
             };
-            if newest.as_ref().is_none_or(|(v, _)| version > *v) {
-                newest = Some((version, path));
+            candidates.push((version, path));
+        }
+        candidates.sort_unstable_by_key(|c| std::cmp::Reverse(c.0));
+        let mut first_err: Option<PersistError> = None;
+        for (version, path) in &candidates {
+            match persist::load_regressor(path) {
+                Ok(model) => return Ok(Self::with_version(model, *version)),
+                Err(e) => {
+                    eprintln!(
+                        "warning: skipping corrupt model checkpoint {}: {e}",
+                        path.display()
+                    );
+                    first_err.get_or_insert(e);
+                }
             }
         }
-        let (version, path) = newest.ok_or_else(|| {
+        Err(first_err.unwrap_or_else(|| {
             PersistError::Io(std::io::Error::new(
                 std::io::ErrorKind::NotFound,
                 format!("no model-v*.{MODEL_EXTENSION} files in {}", dir.display()),
             ))
-        })?;
-        let model = persist::load_regressor(&path)?;
-        Ok(Self::with_version(model, version))
+        }))
     }
 
     /// Replace the served model; returns the new version number.
@@ -172,6 +186,31 @@ mod tests {
             *restored.current().regressor,
             TrainedRegressor::Harmonic { window: 9 }
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_newest_checkpoint_falls_back_to_next_valid_version() {
+        let dir =
+            std::env::temp_dir().join(format!("l5gm-registry-corrupt-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let reg = ModelRegistry::with_version(dummy_model(8), 8);
+        reg.store(&dir).unwrap(); // valid model-v8
+                                  // A truncated newest checkpoint: the first half of valid bytes.
+        let valid = std::fs::read(dir.join("model-v8.l5gm")).unwrap();
+        std::fs::write(dir.join("model-v9.l5gm"), &valid[..valid.len() / 2]).unwrap();
+
+        let restored = ModelRegistry::load_dir(&dir).unwrap();
+        assert_eq!(restored.version(), 8, "must fall back past the corrupt v9");
+        assert!(matches!(
+            *restored.current().regressor,
+            TrainedRegressor::Harmonic { window: 8 }
+        ));
+
+        // When *no* file decodes, the cold start fails with the decode error.
+        std::fs::write(dir.join("model-v8.l5gm"), b"garbage").unwrap();
+        assert!(ModelRegistry::load_dir(&dir).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,7 +10,8 @@
 //! handsets sampling at 1 Hz, and is fully deterministic: no clocks, no
 //! randomness.
 
-use crate::engine::Engine;
+use crate::engine::{Engine, SubmitOutcome};
+use crate::fault::FaultPlan;
 use lumos5g_sim::{Dataset, Record};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -29,8 +30,13 @@ pub struct ReplaySource {
 pub struct ReplayStats {
     /// Events offered to the engine.
     pub submitted: u64,
+    /// Events the engine accepted (exactly one response each, unless a
+    /// `Deadline` policy sheds them as stale at dequeue).
+    pub accepted: u64,
     /// Events the engine shed.
     pub shed: u64,
+    /// Events refused by admission control.
+    pub rejected: u64,
     /// Wall-clock time spent submitting.
     pub wall: Duration,
 }
@@ -85,6 +91,17 @@ impl ReplaySource {
         &self.events
     }
 
+    /// A copy of this stream with `plan`'s source corruption applied, by
+    /// event index — the chaos-bench ingress: deterministically malformed
+    /// telemetry that admission control must reject.
+    pub fn corrupted(&self, plan: &FaultPlan) -> ReplaySource {
+        let mut out = self.clone();
+        for (i, (_, record)) in out.events.iter_mut().enumerate() {
+            plan.corrupt_record(i as u64, record);
+        }
+        out
+    }
+
     /// Synthetic UEs in the stream.
     pub fn ues(&self) -> usize {
         self.ues
@@ -115,7 +132,9 @@ impl ReplaySource {
         };
         let start = Instant::now();
         let mut submitted = 0u64;
+        let mut accepted = 0u64;
         let mut shed = 0u64;
+        let mut rejected = 0u64;
         let mut next_deadline = start;
         let mut tick_start = 0usize;
         for (tick, &tick_end) in self.tick_ends.iter().enumerate() {
@@ -128,15 +147,19 @@ impl ReplaySource {
             }
             for (ue, record) in &self.events[tick_start..tick_end] {
                 submitted += 1;
-                if !engine.submit(*ue, record.clone()) {
-                    shed += 1;
+                match engine.offer(*ue, record.clone()) {
+                    SubmitOutcome::Accepted => accepted += 1,
+                    SubmitOutcome::Shed => shed += 1,
+                    SubmitOutcome::Rejected(_) => rejected += 1,
                 }
             }
             tick_start = tick_end;
         }
         ReplayStats {
             submitted,
+            accepted,
             shed,
+            rejected,
             wall: start.elapsed(),
         }
     }

@@ -60,15 +60,18 @@ impl Session {
     /// this record delivers its ground truth (same pass, `t` exactly one
     /// ahead), for the shard's error tracker.
     pub fn push(&mut self, record: Record) -> Option<f64> {
+        // `checked_add`: at `t == u32::MAX` the next-second test must read
+        // as a discontinuity (wrap → window reset), not overflow-panic in
+        // debug builds.
         let truth_err = match self.pending.take() {
-            Some(p) if p.pass_id == record.pass_id && p.t + 1 == record.t => {
+            Some(p) if p.pass_id == record.pass_id && p.t.checked_add(1) == Some(record.t) => {
                 Some((p.predicted_mbps - record.throughput_mbps).abs())
             }
             _ => None,
         };
 
         let contiguous = match self.window.back() {
-            Some(prev) => prev.pass_id == record.pass_id && prev.t + 1 == record.t,
+            Some(prev) => prev.pass_id == record.pass_id && prev.t.checked_add(1) == Some(record.t),
             None => true,
         };
         if !contiguous {
@@ -88,6 +91,25 @@ impl Session {
     /// The current window, oldest first (contiguous slice).
     pub fn window(&mut self) -> &[Record] {
         self.window.make_contiguous()
+    }
+
+    /// Harmonic mean of the windowed throughputs — the session-local
+    /// fallback predictor (FESTIVE/MPC-style) used when the served model
+    /// panics, returns non-finite, or blows its time budget. Same epsilon
+    /// clamp and oldest-to-newest summation order as
+    /// `lumos5g_ml::HarmonicMeanPredictor`, so the degraded path is as
+    /// deterministic as the healthy one. `None` only while the window is
+    /// empty.
+    pub fn harmonic_estimate(&self) -> Option<f64> {
+        if self.window.is_empty() {
+            return None;
+        }
+        let inv_sum: f64 = self
+            .window
+            .iter()
+            .map(|r| 1.0 / r.throughput_mbps.max(1e-6))
+            .sum();
+        Some(self.window.len() as f64 / inv_sum)
     }
 
     /// Records currently held.
@@ -190,6 +212,42 @@ mod tests {
             predicted_mbps: 500.0,
         });
         assert_eq!(s.push(rec(1, 13, 480.0)), None);
+    }
+
+    #[test]
+    fn t_at_u32_max_resets_instead_of_overflowing() {
+        let mut s = Session::new(4);
+        s.push(rec(1, u32::MAX - 1, 1.0));
+        s.push(rec(1, u32::MAX, 2.0));
+        assert_eq!(s.len(), 2, "MAX-1 → MAX is contiguous");
+        // A wrap to t=0 must read as a discontinuity, not a debug panic.
+        s.pending = Some(PendingPrediction {
+            pass_id: 1,
+            t: u32::MAX,
+            predicted_mbps: 100.0,
+        });
+        assert_eq!(
+            s.push(rec(1, 0, 3.0)),
+            None,
+            "wrapped t never settles truth"
+        );
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.resets, 1);
+    }
+
+    #[test]
+    fn harmonic_estimate_tracks_the_window() {
+        let mut s = Session::new(5);
+        assert_eq!(s.harmonic_estimate(), None);
+        s.push(rec(1, 0, 100.0));
+        s.push(rec(1, 1, 300.0));
+        // HM(100, 300) = 2 / (1/100 + 1/300) = 150.
+        let hm = s.harmonic_estimate().unwrap();
+        assert!((hm - 150.0).abs() < 1e-9, "hm = {hm}");
+        // Outage seconds are epsilon-clamped, never NaN/inf.
+        s.push(rec(1, 2, 0.0));
+        let hm = s.harmonic_estimate().unwrap();
+        assert!(hm.is_finite() && hm >= 0.0);
     }
 
     #[test]

@@ -1,6 +1,18 @@
 //! Shard worker: owns the sessions of the UEs hashed to it and turns each
 //! incoming record into (at most) one prediction.
+//!
+//! The worker is fault-isolated at two levels. Around the model call, a
+//! fallback chain guarantees a finite answer: if `predict_one` panics,
+//! returns non-finite, or exceeds the configured time budget, the response
+//! is served from the session-local harmonic-mean predictor and tagged
+//! `degraded`. Around the whole record, `catch_unwind` quarantines poison
+//! records — a panic in session update or feature extraction discards the
+//! (possibly torn) session, counts the record as quarantined, and still
+//! emits a degraded response instead of taking the worker down. A panic
+//! that escapes both layers kills the thread; the engine supervisor
+//! respawns it (see `engine.rs`).
 
+use crate::fault::{FaultPlan, PredictFault, RecordFault, RecordKey};
 use crate::metrics::ShardMetrics;
 use crate::registry::ModelRegistry;
 use crate::session::{PendingPrediction, Session};
@@ -8,9 +20,10 @@ use crossbeam::channel::{Receiver, Sender};
 use lumos5g::FeatureSpec;
 use lumos5g_sim::Record;
 use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One unit of ingest work.
 #[derive(Debug)]
@@ -23,7 +36,8 @@ pub struct Ingest {
     pub enqueued: Instant,
 }
 
-/// One response — every ingested record produces exactly one.
+/// One response — every ingested record produces exactly one (unless the
+/// `Deadline` policy shed it as stale at dequeue).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Prediction {
     /// UE the response belongs to.
@@ -37,13 +51,54 @@ pub struct Prediction {
     /// Model generation that produced it.
     pub model_version: u64,
     /// Predicted next-second throughput, Mbps (`None` while the session
-    /// window is still warming up).
+    /// window is still warming up). Always finite when `Some`.
     pub predicted_mbps: Option<f64>,
     /// Measured throughput of the triggering record (echoed for
     /// closed-loop consumers).
     pub measured_mbps: f64,
     /// Enqueue-to-emit latency, ns.
     pub latency_ns: u64,
+    /// True when this response was served on a degraded path: the model
+    /// call failed (panic / non-finite / over budget) and the harmonic
+    /// fallback answered, or the record was quarantined.
+    pub degraded: bool,
+}
+
+/// Per-worker serving context: everything a shard needs besides its
+/// channels, bundled so the engine supervisor can respawn a worker with
+/// the exact configuration the dead one had.
+#[derive(Debug, Clone)]
+pub struct ShardContext {
+    /// Feature spec the served models were trained with.
+    pub spec: FeatureSpec,
+    /// Dequeue-side staleness budget (from [`crate::OverloadPolicy::Deadline`]).
+    pub stale_after: Option<Duration>,
+    /// Per-call model time budget; a slower `predict_one` falls back to the
+    /// harmonic predictor. `None` disables the clock entirely (no
+    /// `Instant::now` on the hot path).
+    pub predict_budget: Option<Duration>,
+    /// Deterministic fault injection (chaos testing); `None` in production.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+impl ShardContext {
+    /// A plain production context: no deadline, no budget, no faults.
+    pub fn new(spec: FeatureSpec) -> Self {
+        ShardContext {
+            spec,
+            stale_after: None,
+            predict_budget: None,
+            faults: None,
+        }
+    }
+}
+
+/// How one record's prediction was produced.
+struct StepOutcome {
+    predicted: Option<f64>,
+    degraded: bool,
+    fallback: bool,
+    model_version: u64,
 }
 
 /// Run one shard worker until its ingest channel disconnects.
@@ -52,16 +107,17 @@ pub struct Prediction {
 /// prediction against the newly measured throughput, extract features via
 /// [`FeatureSpec::extract_latest`] and predict via
 /// `TrainedRegressor::predict_one` on the registry's current model — the
-/// exact offline code paths, which is what makes serving bit-exact.
+/// exact offline code paths, which is what makes fault-free serving
+/// bit-exact.
 pub fn run_shard(
     shard: usize,
-    spec: FeatureSpec,
+    ctx: ShardContext,
     registry: Arc<ModelRegistry>,
     rx: Receiver<Ingest>,
     out: Sender<Prediction>,
     metrics: Arc<ShardMetrics>,
 ) {
-    let required = spec.required_window();
+    let required = ctx.spec.required_window();
     let mut sessions: HashMap<u64, Session> = HashMap::new();
     for msg in rx.iter() {
         let Ingest {
@@ -69,37 +125,85 @@ pub fn run_shard(
             record,
             enqueued,
         } = msg;
-        let session = sessions.entry(ue).or_insert_with(|| Session::new(required));
-        let resets_before = session.resets;
-        if let Some(err) = session.push(record) {
-            metrics.record_error(err);
+        if let Some(max_age) = ctx.stale_after {
+            if enqueued.elapsed() > max_age {
+                metrics.shed_stale.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
         }
-        metrics
-            .resets
-            .fetch_add(session.resets - resets_before, Ordering::Relaxed);
+        // Identity and ground truth captured up front, so a panic anywhere
+        // in processing can still be answered (and `window().last()` is no
+        // longer a panic risk).
+        let (pass_id, t, measured) = (record.pass_id, record.t, record.throughput_mbps);
+        let fault = match &ctx.faults {
+            Some(plan) => plan.fault_for(RecordKey::of(ue, &record)),
+            None => RecordFault::NONE,
+        };
         metrics.processed.fetch_add(1, Ordering::Relaxed);
 
-        let model = registry.current();
-        let newest = session
-            .window()
-            .last()
-            .expect("window non-empty after push");
-        let (pass_id, t, measured) = (newest.pass_id, newest.t, newest.throughput_mbps);
-        let predicted = spec
-            .extract_latest(session.window())
-            .and_then(|x| model.regressor.predict_one(&x));
-        match predicted {
-            Some(y) => {
+        let step = panic::catch_unwind(AssertUnwindSafe(|| {
+            if fault.poison {
+                panic!("chaos: injected poison record (ue {ue} pass {pass_id} t {t})");
+            }
+            let session = sessions.entry(ue).or_insert_with(|| Session::new(required));
+            let resets_before = session.resets;
+            if let Some(err) = session.push(record) {
+                metrics.record_error(err);
+            }
+            metrics
+                .resets
+                .fetch_add(session.resets - resets_before, Ordering::Relaxed);
+
+            let model = registry.current();
+            let x = ctx.spec.extract_latest(session.window());
+            let outcome = predict_step(
+                &model.regressor,
+                x,
+                session,
+                fault.predict,
+                ctx.predict_budget,
+            );
+            if let Some(y) = outcome.0 {
                 session.pending = Some(PendingPrediction {
                     pass_id,
                     t,
                     predicted_mbps: y,
                 });
+            }
+            StepOutcome {
+                predicted: outcome.0,
+                degraded: outcome.1,
+                fallback: outcome.1,
+                model_version: model.version,
+            }
+        }));
+        let outcome = match step {
+            Ok(o) => o,
+            Err(_) => {
+                // Poison record: the session may be torn mid-update — drop
+                // it so the UE rebuilds cold — quarantine the record, and
+                // still answer (degraded, no prediction).
+                sessions.remove(&ue);
+                metrics.quarantined.fetch_add(1, Ordering::Relaxed);
+                StepOutcome {
+                    predicted: None,
+                    degraded: true,
+                    fallback: false,
+                    model_version: registry.current().version,
+                }
+            }
+        };
+        match outcome.predicted {
+            Some(_) => {
                 metrics.predictions.fetch_add(1, Ordering::Relaxed);
             }
-            None => {
+            None if !outcome.degraded => {
                 metrics.warmups.fetch_add(1, Ordering::Relaxed);
             }
+            None => {} // quarantined: counted above
+        }
+        if outcome.fallback {
+            metrics.fallbacks.fetch_add(1, Ordering::Relaxed);
         }
         let latency_ns = enqueued.elapsed().as_nanos() as u64;
         metrics.latency.record(latency_ns);
@@ -109,17 +213,78 @@ pub fn run_shard(
                 pass_id,
                 t,
                 shard,
-                model_version: model.version,
-                predicted_mbps: predicted,
+                model_version: outcome.model_version,
+                predicted_mbps: outcome.predicted,
                 measured_mbps: measured,
                 latency_ns,
+                degraded: outcome.degraded,
             })
             .is_err()
         {
             // Consumer went away: keep draining so producers never block
             // on a dead shard, but stop emitting.
         }
+        if fault.kill_worker {
+            // Injected *after* the response, so supervision is exercised
+            // without violating one-response-per-accepted-record.
+            panic!("chaos: injected worker kill on shard {shard} (ue {ue} pass {pass_id} t {t})");
+        }
     }
+}
+
+/// The fallback chain around one model call.
+///
+/// Returns `(prediction, degraded)`:
+/// * healthy model, finite output, within budget → `(Some(y), false)` —
+///   bit-identical to the pre-fault-tolerance engine;
+/// * no feature row yet (warm-up) or a family with no single-row form →
+///   `(None, false)`;
+/// * model panicked / returned non-finite / blew the budget → the
+///   session-local harmonic estimate, `(Some(hm), true)` — never a dropped
+///   response, never a NaN.
+fn predict_step(
+    model: &lumos5g::TrainedRegressor,
+    x: Option<Vec<f64>>,
+    session: &Session,
+    fault: PredictFault,
+    budget: Option<Duration>,
+) -> (Option<f64>, bool) {
+    let Some(x) = x else {
+        return (None, false); // warm-up: expected, not degraded
+    };
+    // An injected Slow fault models a predict call that would have blown
+    // any budget: the (discarded) model output is never computed.
+    if fault == PredictFault::Slow {
+        return fallback(session);
+    }
+    let started = budget.map(|_| Instant::now());
+    let raw = panic::catch_unwind(AssertUnwindSafe(|| {
+        if fault == PredictFault::Panic {
+            panic!("chaos: injected model panic");
+        }
+        let y = model.predict_one(&x);
+        match fault {
+            PredictFault::Nan => y.map(|_| f64::NAN),
+            _ => y,
+        }
+    }));
+    match raw {
+        Ok(Some(y)) if y.is_finite() => {
+            if let (Some(budget), Some(started)) = (budget, started) {
+                if started.elapsed() > budget {
+                    return fallback(session);
+                }
+            }
+            (Some(y), false)
+        }
+        Ok(Some(_nonfinite)) => fallback(session),
+        Ok(None) => (None, false), // family has no single-row form
+        Err(_) => fallback(session),
+    }
+}
+
+fn fallback(session: &Session) -> (Option<f64>, bool) {
+    (session.harmonic_estimate(), true)
 }
 
 #[cfg(test)]
@@ -161,17 +326,21 @@ mod tests {
         }
     }
 
+    fn harmonic_registry() -> Arc<ModelRegistry> {
+        Arc::new(ModelRegistry::new(TrainedRegressor::Harmonic { window: 5 }))
+    }
+
     /// Harmonic has no single-row form → predict_one is None → the shard
     /// must still answer every record (as a warm-up/None response).
     #[test]
     fn every_record_gets_exactly_one_response() {
-        let spec = FeatureSpec::new(FeatureSet::LM);
-        let registry = Arc::new(ModelRegistry::new(TrainedRegressor::Harmonic { window: 5 }));
+        let ctx = ShardContext::new(FeatureSpec::new(FeatureSet::LM));
         let metrics = Arc::new(ShardMetrics::new());
         let (tx, rx) = channel::bounded(16);
         let (out_tx, out_rx) = channel::unbounded();
         let m = metrics.clone();
-        let worker = std::thread::spawn(move || run_shard(0, spec, registry, rx, out_tx, m));
+        let registry = harmonic_registry();
+        let worker = std::thread::spawn(move || run_shard(0, ctx, registry, rx, out_tx, m));
         for t in 0..10 {
             tx.send(Ingest {
                 ue: 7,
@@ -185,11 +354,125 @@ mod tests {
         let responses: Vec<Prediction> = out_rx.iter().collect();
         assert_eq!(responses.len(), 10);
         assert!(responses.iter().all(|p| p.predicted_mbps.is_none()));
+        assert!(responses.iter().all(|p| !p.degraded));
         assert!(responses.iter().all(|p| p.model_version == 1));
         assert_eq!(metrics.warmups.load(Ordering::Relaxed), 10);
         assert_eq!(metrics.latency.count(), 10);
         // Responses for one UE arrive in ingest order.
         let ts: Vec<u32> = responses.iter().map(|p| p.t).collect();
         assert_eq!(ts, (0..10).collect::<Vec<_>>());
+    }
+
+    /// Dropping the output receiver mid-run must flip the worker into
+    /// drain-without-emit: it keeps consuming (so producers never block on
+    /// a dead consumer) and exits cleanly when ingest disconnects.
+    #[test]
+    fn dropped_output_receiver_drains_without_emitting() {
+        let ctx = ShardContext::new(FeatureSpec::new(FeatureSet::LM));
+        let metrics = Arc::new(ShardMetrics::new());
+        let (tx, rx) = channel::bounded(64);
+        let (out_tx, out_rx) = channel::unbounded();
+        let m = metrics.clone();
+        let registry = harmonic_registry();
+        let worker = std::thread::spawn(move || run_shard(0, ctx, registry, rx, out_tx, m));
+        for t in 0..5 {
+            tx.send(Ingest {
+                ue: 1,
+                record: rec(1, t, 100.0),
+                enqueued: Instant::now(),
+            })
+            .unwrap();
+        }
+        // Wait for the first responses, then kill the consumer mid-run.
+        for _ in 0..5 {
+            out_rx.recv().unwrap();
+        }
+        drop(out_rx);
+        for t in 5..40 {
+            tx.send(Ingest {
+                ue: 1,
+                record: rec(1, t, 100.0),
+                enqueued: Instant::now(),
+            })
+            .unwrap();
+        }
+        drop(tx);
+        worker.join().expect("worker must survive a dead consumer");
+        assert_eq!(metrics.processed.load(Ordering::Relaxed), 40);
+        assert_eq!(metrics.latency.count(), 40);
+    }
+
+    /// Records older than the Deadline staleness budget are shed at
+    /// dequeue: counted, never answered.
+    #[test]
+    fn deadline_sheds_stale_records_at_dequeue() {
+        let mut ctx = ShardContext::new(FeatureSpec::new(FeatureSet::LM));
+        ctx.stale_after = Some(Duration::from_secs(60));
+        let metrics = Arc::new(ShardMetrics::new());
+        let (tx, rx) = channel::bounded(16);
+        let (out_tx, out_rx) = channel::unbounded();
+        let m = metrics.clone();
+        let registry = harmonic_registry();
+        let worker = std::thread::spawn(move || run_shard(0, ctx, registry, rx, out_tx, m));
+        let ancient = Instant::now() - Duration::from_secs(3600);
+        for t in 0..4 {
+            tx.send(Ingest {
+                ue: 1,
+                record: rec(1, t, 100.0),
+                enqueued: ancient,
+            })
+            .unwrap();
+        }
+        for t in 4..7 {
+            tx.send(Ingest {
+                ue: 1,
+                record: rec(1, t, 100.0),
+                enqueued: Instant::now(),
+            })
+            .unwrap();
+        }
+        drop(tx);
+        worker.join().unwrap();
+        let responses: Vec<Prediction> = out_rx.iter().collect();
+        assert_eq!(responses.len(), 3, "only fresh records are answered");
+        assert_eq!(metrics.shed_stale.load(Ordering::Relaxed), 4);
+        assert_eq!(metrics.processed.load(Ordering::Relaxed), 3);
+        // The stale records never touched the session: t=4..7 starts cold.
+        assert_eq!(responses[0].t, 4);
+    }
+
+    /// A poison record (injected session/extract panic) is quarantined:
+    /// counted, answered degraded-with-None, session rebuilt cold — and the
+    /// worker keeps serving.
+    #[test]
+    fn poison_record_is_quarantined_not_fatal() {
+        let mut ctx = ShardContext::new(FeatureSpec::new(FeatureSet::LM));
+        let mut plan = FaultPlan::new(5);
+        plan.poison_bp = 10_000; // every record is poison
+        ctx.faults = Some(Arc::new(plan));
+        let metrics = Arc::new(ShardMetrics::new());
+        let (tx, rx) = channel::bounded(16);
+        let (out_tx, out_rx) = channel::unbounded();
+        let m = metrics.clone();
+        let registry = harmonic_registry();
+        let worker = std::thread::spawn(move || run_shard(0, ctx, registry, rx, out_tx, m));
+        for t in 0..6 {
+            tx.send(Ingest {
+                ue: 9,
+                record: rec(1, t, 100.0),
+                enqueued: Instant::now(),
+            })
+            .unwrap();
+        }
+        drop(tx);
+        worker
+            .join()
+            .expect("poison records must not kill the worker");
+        let responses: Vec<Prediction> = out_rx.iter().collect();
+        assert_eq!(responses.len(), 6, "quarantined records still answer");
+        assert!(responses.iter().all(|p| p.degraded));
+        assert!(responses.iter().all(|p| p.predicted_mbps.is_none()));
+        assert_eq!(metrics.quarantined.load(Ordering::Relaxed), 6);
+        assert_eq!(metrics.processed.load(Ordering::Relaxed), 6);
     }
 }

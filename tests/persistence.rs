@@ -27,6 +27,7 @@ fn engine_cfg() -> EngineConfig {
         shards: 3,
         queue_capacity: 256,
         policy: OverloadPolicy::Block,
+        ..Default::default()
     }
 }
 

@@ -32,6 +32,7 @@ fn engine_cfg() -> EngineConfig {
         shards: 4,
         queue_capacity: 256,
         policy: OverloadPolicy::Block,
+        ..Default::default()
     }
 }
 
