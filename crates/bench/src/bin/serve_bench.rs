@@ -2,19 +2,28 @@
 //!
 //! ```text
 //! cargo run --release -p lumos5g-bench --bin serve_bench -- \
-//!     [--shards N] [--ues N] [--rounds N] [--seed N] [--quick] \
-//!     [--save-models DIR] [--load-models DIR] [--chaos SEED]
+//!     [--model gdbt|seq2seq] [--shards N] [--ues N] [--rounds N] [--seed N] \
+//!     [--quick] [--decode-batch N] [--save-models DIR] [--load-models DIR] \
+//!     [--chaos SEED]
 //! ```
 //!
-//! Simulates a campaign, trains a GDBT (L+M) regressor, replays the
-//! campaign as a multi-UE 1 Hz stream at maximum speed through the engine,
-//! and reports sustained predictions/sec plus end-to-end tail latency.
-//! Results are printed and saved to `results/serving.csv` /
-//! `results/serving_shards.csv`.
+//! Simulates a campaign, trains the selected model (GDBT L+M by default,
+//! `--model seq2seq` for the LSTM encoder–decoder), replays the campaign as
+//! a multi-UE 1 Hz stream at maximum speed through the engine, and reports
+//! sustained predictions/sec plus end-to-end tail latency. Results are
+//! printed and saved to `results/serving.csv` / `results/serving_shards.csv`.
+//!
+//! With `--model seq2seq`, shards serve full k-step horizons through the
+//! batched decoder (`--decode-batch`, default 8, bit-identical for any
+//! value), and the bench additionally sweeps the offline batched decoder
+//! over batch sizes 1–16, appending one row per batch size; at batch ≥ 8
+//! the decoder must sustain ≥ 2x the unbatched rate (gated like the
+//! 100k predictions/sec GDBT target, full runs only).
 //!
 //! `--save-models DIR` writes the served model to `DIR/model-v1.l5gm`;
 //! `--load-models DIR` cold-starts from the highest version saved there
-//! and skips training entirely — the loaded model is bit-identical.
+//! and skips training entirely — the loaded model is bit-identical. Both
+//! families use the same `.l5gm` format.
 //!
 //! `--chaos SEED` installs a deterministic `FaultPlan`: source records are
 //! corrupted, models panic / emit NaN / blow their budget, and workers are
@@ -23,7 +32,7 @@
 //! once, no response carries a non-finite prediction, and the online MAE
 //! stays finite.
 
-use lumos5g::{quick_gbdt, FeatureSet, Lumos5G, ModelKind};
+use lumos5g::{quick_gbdt, FeatureSet, Lumos5G, ModelKind, Seq2SeqParams};
 use lumos5g_bench::TableWriter;
 use lumos5g_serve::{Engine, EngineConfig, FaultPlan, ModelRegistry, OverloadPolicy, ReplaySource};
 use lumos5g_sim::{airport, quality, run_campaign, CampaignConfig};
@@ -31,15 +40,33 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
-const USAGE: &str = "usage: serve_bench [--shards N] [--ues N] [--rounds N] [--seed N] \
-                     [--quick] [--save-models DIR] [--load-models DIR] [--chaos SEED]";
+const USAGE: &str = "usage: serve_bench [--model gdbt|seq2seq] [--shards N] [--ues N] \
+                     [--rounds N] [--seed N] [--quick] [--decode-batch N] \
+                     [--save-models DIR] [--load-models DIR] [--chaos SEED]";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ModelChoice {
+    Gdbt,
+    Seq2Seq,
+}
+
+impl ModelChoice {
+    fn name(self) -> &'static str {
+        match self {
+            ModelChoice::Gdbt => "gdbt",
+            ModelChoice::Seq2Seq => "seq2seq",
+        }
+    }
+}
 
 struct Args {
+    model: ModelChoice,
     shards: usize,
     ues: usize,
     rounds: usize,
     seed: u64,
     quick: bool,
+    decode_batch: usize,
     save_models: Option<PathBuf>,
     load_models: Option<PathBuf>,
     chaos: Option<u64>,
@@ -47,11 +74,13 @@ struct Args {
 
 fn parse_args() -> Args {
     let mut args = Args {
+        model: ModelChoice::Gdbt,
         shards: 4,
         ues: 64,
         rounds: 8,
         seed: 42,
         quick: false,
+        decode_batch: 8,
         save_models: None,
         load_models: None,
         chaos: None,
@@ -74,6 +103,22 @@ fn parse_args() -> Args {
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
+            "--model" => {
+                i += 1;
+                args.model = match argv.get(i).map(String::as_str) {
+                    Some("gdbt") => ModelChoice::Gdbt,
+                    Some("seq2seq") => ModelChoice::Seq2Seq,
+                    _ => {
+                        eprintln!("--model needs gdbt or seq2seq");
+                        eprintln!("{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--decode-batch" => {
+                i += 1;
+                args.decode_batch = (numeric(&argv, i, "--decode-batch") as usize).max(1);
+            }
             "--shards" => {
                 i += 1;
                 args.shards = numeric(&argv, i, "--shards") as usize;
@@ -118,6 +163,24 @@ fn parse_args() -> Args {
     args
 }
 
+/// Seq2Seq shape for the serving benchmark: hidden 96 keeps the per-step
+/// weight working set (~1.8 MB of f64) larger than a typical L2, which is
+/// exactly the regime batched decoding is built for — each weight tile is
+/// loaded once per step and reused across every lane.
+fn bench_seq2seq(seed: u64, quick: bool) -> Seq2SeqParams {
+    Seq2SeqParams {
+        input_len: 10,
+        horizon: 5,
+        hidden: 96,
+        layers: 2,
+        epochs: if quick { 2 } else { 3 },
+        batch_size: 64,
+        lr: 3e-3,
+        stride: if quick { 2 } else { 4 },
+        seed,
+    }
+}
+
 fn main() {
     let args = parse_args();
     let (passes, duration, rounds) = if args.quick {
@@ -152,8 +215,16 @@ fn main() {
             registry
         }
         None => {
-            eprintln!("training GDBT (L+M) on {} records...", data.len());
-            let model = Lumos5G::new(FeatureSet::LM, ModelKind::Gdbt(quick_gbdt()))
+            let kind = match args.model {
+                ModelChoice::Gdbt => ModelKind::Gdbt(quick_gbdt()),
+                ModelChoice::Seq2Seq => ModelKind::Seq2Seq(bench_seq2seq(args.seed, args.quick)),
+            };
+            eprintln!(
+                "training {} (L+M) on {} records...",
+                args.model.name(),
+                data.len()
+            );
+            let model = Lumos5G::new(FeatureSet::LM, kind)
                 .fit_regression(&data)
                 .expect("training failed");
             ModelRegistry::new(model)
@@ -184,25 +255,37 @@ fn main() {
         args.shards
     );
 
+    let registry = Arc::new(registry);
     let engine = Engine::start_with_faults(
-        Arc::new(registry),
+        registry.clone(),
         EngineConfig {
             shards: args.shards,
             queue_capacity: 1024,
             policy: OverloadPolicy::Block,
             predict_budget: None,
+            decode_batch: args.decode_batch,
         },
         plan.clone(),
     );
     // Closed loop: drain responses concurrently so the engine never stalls
-    // on its (unbounded) output.
+    // on its (unbounded) output. The consumer also audits the sequence
+    // contract: every served horizon is finite and starts at the response's
+    // one-step prediction.
     let rx = engine.responses().clone();
     let consumer = std::thread::spawn(move || {
-        let mut n = 0u64;
-        while rx.recv().is_ok() {
+        let (mut n, mut with_horizon) = (0u64, 0u64);
+        while let Ok(p) = rx.recv() {
             n += 1;
+            if let Some(h) = &p.horizon_mbps {
+                with_horizon += 1;
+                assert!(
+                    h.iter().all(|v| v.is_finite()),
+                    "non-finite horizon served: {h:?}"
+                );
+                assert_eq!(p.predicted_mbps, h.first().copied(), "horizon[0] mismatch");
+            }
         }
-        n
+        (n, with_horizon)
     });
 
     let start = Instant::now();
@@ -217,7 +300,7 @@ fn main() {
     }
     let (report, responses) = engine.shutdown();
     drop(responses);
-    let consumed = consumer.join().unwrap();
+    let (consumed, with_horizon) = consumer.join().unwrap();
     let wall = start.elapsed();
 
     // The fault-tolerance contract: every accepted record is answered
@@ -232,6 +315,15 @@ fn main() {
     assert_eq!(report.rejected, rejected, "admission counters disagree");
     if let Some(mae) = report.mae_mbps {
         assert!(mae.is_finite(), "online MAE went non-finite: {mae}");
+    }
+    // Fault-free sequence serving must actually produce horizons (warm-ups
+    // aside) — a silently formless model would otherwise pass every count.
+    if args.model == ModelChoice::Seq2Seq && args.chaos.is_none() {
+        assert!(
+            with_horizon > 0,
+            "seq2seq run served no horizon-bearing responses"
+        );
+        assert_eq!(report.panicked, 0, "fault-free run had worker deaths");
     }
     let preds_per_sec = report.processed as f64 / wall.as_secs_f64();
 
@@ -301,11 +393,13 @@ fn main() {
     }
 
     let mut summary = TableWriter::new(
-        "Serving engine: sustained closed-loop throughput (GDBT L+M)",
+        "Serving engine: sustained closed-loop throughput",
         &[
+            "model",
             "shards",
             "ues",
             "records",
+            "decode_batch",
             "preds_per_sec",
             "p50_us",
             "p95_us",
@@ -313,10 +407,16 @@ fn main() {
             "online_mae_mbps",
         ],
     );
+    let engine_batch = match args.model {
+        ModelChoice::Gdbt => "-".to_string(),
+        ModelChoice::Seq2Seq => args.decode_batch.to_string(),
+    };
     summary.row(&[
+        args.model.name().to_string(),
         args.shards.to_string(),
         args.ues.to_string(),
         report.processed.to_string(),
+        engine_batch,
         format!("{preds_per_sec:.0}"),
         us(report.p50_ns),
         us(report.p95_ns),
@@ -326,6 +426,63 @@ fn main() {
             .map(|m| format!("{m:.1}"))
             .unwrap_or_else(|| "-".into()),
     ]);
+
+    // Offline batched-decoder sweep: the same histories decoded at batch
+    // sizes 1..16, one summary row per size. Output is bit-identical across
+    // sizes (asserted by the workspace `serving` test); this measures the
+    // weight-reuse payoff alone.
+    let mut decoder_speedup: Option<f64> = None;
+    if args.model == ModelChoice::Seq2Seq && args.chaos.is_none() {
+        let served = registry.current();
+        let params = *served
+            .regressor
+            .seq2seq_params()
+            .expect("seq2seq run serves a seq2seq model");
+        let spec = *served.regressor.spec().expect("seq2seq model has a spec");
+        let seqs = lumos5g::build_sequences(&data, &spec, params.input_len, 1, params.stride);
+        let cap = if args.quick { 512 } else { 2048 };
+        let histories: Vec<&[Vec<f64>]> =
+            seqs.inputs.iter().take(cap).map(|h| h.as_slice()).collect();
+        assert!(!histories.is_empty(), "campaign produced no sequences");
+        // Warm pass so first-touch page faults don't bill to batch=1.
+        served
+            .regressor
+            .predict_sequence_batch(&histories[..histories.len().min(32)])
+            .expect("decoder warm-up failed");
+        let mut rate_b1 = 0.0f64;
+        let mut rate_b8_plus = 0.0f64;
+        for batch in [1usize, 2, 4, 8, 16] {
+            let started = Instant::now();
+            for chunk in histories.chunks(batch) {
+                served
+                    .regressor
+                    .predict_sequence_batch(chunk)
+                    .expect("batched decode failed");
+            }
+            let rate = histories.len() as f64 / started.elapsed().as_secs_f64();
+            if batch == 1 {
+                rate_b1 = rate;
+            }
+            if batch >= 8 {
+                rate_b8_plus = rate_b8_plus.max(rate);
+            }
+            summary.row(&[
+                "seq2seq-decode".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                histories.len().to_string(),
+                batch.to_string(),
+                format!("{rate:.0}"),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+        }
+        let speedup = rate_b8_plus / rate_b1.max(1e-9);
+        eprintln!("batched decoder speedup at batch>=8: {speedup:.2}x over batch=1");
+        decoder_speedup = Some(speedup);
+    }
     summary.print();
 
     // Chaos-run throughput is not the headline number: keep the committed
@@ -340,10 +497,19 @@ fn main() {
         eprintln!("saved results/serving.csv and results/serving_shards.csv");
     }
 
-    // Supervisor respawns and fallback work make the throughput target
-    // meaningless under chaos; the contract assertions above are the gate.
-    if preds_per_sec < 100_000.0 && !args.quick && args.chaos.is_none() {
-        eprintln!("WARNING: below the 100k predictions/sec target ({preds_per_sec:.0}/s)");
-        std::process::exit(1);
+    // Supervisor respawns and fallback work make the throughput targets
+    // meaningless under chaos, and quick runs are smoke tests; the contract
+    // assertions above are the gate there.
+    if !args.quick && args.chaos.is_none() {
+        if args.model == ModelChoice::Gdbt && preds_per_sec < 100_000.0 {
+            eprintln!("WARNING: below the 100k predictions/sec target ({preds_per_sec:.0}/s)");
+            std::process::exit(1);
+        }
+        if let Some(speedup) = decoder_speedup {
+            if speedup < 2.0 {
+                eprintln!("WARNING: batched decoder below the 2x target ({speedup:.2}x)");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -64,7 +64,9 @@ pub use features::{FeatureGroup, FeatureSet, FeatureSpec};
 pub use map::ThroughputMap;
 pub use map_model::{map_model_eval, MapModel};
 pub use persist::{load_regressor, save_regressor, PersistError};
-pub use predictor::{quick_gbdt, quick_seq2seq, Lumos5G, ModelKind, TrainedRegressor};
+pub use predictor::{
+    quick_gbdt, quick_seq2seq, Lumos5G, ModelKind, Seq2SeqParams, TrainedRegressor,
+};
 pub use tabular::{build_sequences, build_tabular, TabularData};
 
 /// Convenient glob import for examples and tests.

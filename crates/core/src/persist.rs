@@ -1,11 +1,13 @@
 //! On-disk model persistence — versioned save/load for trained models.
 //!
-//! A serving engine restart must not retrain: every single-row
-//! [`TrainedRegressor`] family (GDBT, Random Forest, KNN) and every
-//! [`TrainedClassifier`] serializes to a compact, dependency-free binary
-//! format and loads back **bit-identically** — `f64`s travel as raw
-//! IEEE-754 bits, and the KNN spatial index is rebuilt deterministically
-//! from its stored points.
+//! A serving engine restart must not retrain: every [`TrainedRegressor`]
+//! family the engine serves (GDBT, Random Forest, KNN, Harmonic, and the
+//! LSTM Seq2Seq) and every [`TrainedClassifier`] serializes to a compact,
+//! dependency-free binary format and loads back **bit-identically** —
+//! `f64`s travel as raw IEEE-754 bits, the KNN spatial index is rebuilt
+//! deterministically from its stored points, and a restored Seq2Seq decodes
+//! the same horizons bit-for-bit (its feature/target scalers ride along;
+//! Adam moments are training state and restart cold).
 //!
 //! ## Format layout (`.l5gm` files)
 //!
@@ -14,7 +16,8 @@
 //!      0     4  magic  "L5GM"
 //!      4     2  format version (u16 LE, currently 1)
 //!      6     1  kind     (0 = regressor, 1 = classifier)
-//!      7     1  family   (regressor: 1 GDBT, 2 RF, 3 KNN, 4 Harmonic;
+//!      7     1  family   (regressor: 1 GDBT, 2 RF, 3 KNN, 4 Harmonic,
+//!                         6 Seq2Seq;
 //!                         classifier: 1 GDBT, 2 RF, 3 KNN, 5 FromRegression)
 //!      8     1  spec presence (0 = none, 1 = FeatureSpec follows)
 //!      9     …  FeatureSpec  (set tag u8, history_window u32) when present
@@ -26,15 +29,16 @@
 //! with a typed error rather than guessing. Trailing bytes after the
 //! payload are treated as corruption.
 //!
-//! Seq2Seq and Kriging models are not (yet) persistable — saving one
-//! returns [`PersistError::UnsupportedFamily`] instead of a partial file.
+//! Kriging models are not (yet) persistable — saving one returns
+//! [`PersistError::UnsupportedFamily`] instead of a partial file.
 
 use crate::features::{FeatureSet, FeatureSpec};
-use crate::predictor::{TrainedClassifier, TrainedRegressor};
+use crate::predictor::{Seq2SeqParams, TrainedClassifier, TrainedRegressor};
 use lumos5g_ml::codec::{ByteReader, ByteWriter, CodecError};
+use lumos5g_ml::dataset::TargetScaler;
 use lumos5g_ml::{
     GbdtClassifier, GbdtRegressor, KnnClassifier, KnnRegressor, RandomForestClassifier,
-    RandomForestRegressor,
+    RandomForestRegressor, Seq2Seq, StandardScaler,
 };
 use std::fmt;
 use std::io;
@@ -55,6 +59,7 @@ const FAM_RF: u8 = 2;
 const FAM_KNN: u8 = 3;
 const FAM_HARMONIC: u8 = 4;
 const FAM_FROM_REGRESSION: u8 = 5;
+const FAM_SEQ2SEQ: u8 = 6;
 
 /// Why a save or load failed.
 #[derive(Debug)]
@@ -73,8 +78,8 @@ pub enum PersistError {
         /// The kind byte found in the file.
         found: u8,
     },
-    /// The model family cannot be serialized (Seq2Seq, Kriging) or the
-    /// family tag is unknown.
+    /// The model family cannot be serialized (Kriging) or the family tag
+    /// is unknown.
     UnsupportedFamily(String),
     /// Structurally corrupt payload.
     Codec(CodecError),
@@ -181,6 +186,32 @@ fn get_spec(r: &mut ByteReader<'_>) -> Result<Option<FeatureSpec>, PersistError>
     }
 }
 
+fn put_seq2seq_params(w: &mut ByteWriter, p: &Seq2SeqParams) {
+    w.put_len(p.input_len);
+    w.put_len(p.horizon);
+    w.put_len(p.hidden);
+    w.put_len(p.layers);
+    w.put_len(p.epochs);
+    w.put_len(p.batch_size);
+    w.put_f64(p.lr);
+    w.put_len(p.stride);
+    w.put_u64(p.seed);
+}
+
+fn get_seq2seq_params(r: &mut ByteReader<'_>) -> Result<Seq2SeqParams, PersistError> {
+    Ok(Seq2SeqParams {
+        input_len: r.len()?,
+        horizon: r.len()?,
+        hidden: r.len()?,
+        layers: r.len()?,
+        epochs: r.len()?,
+        batch_size: r.len()?,
+        lr: r.f64()?,
+        stride: r.len()?,
+        seed: r.u64()?,
+    })
+}
+
 fn put_header(w: &mut ByteWriter, kind: u8) {
     w.put_bytes(&MAGIC);
     w.put_u16(FORMAT_VERSION);
@@ -199,7 +230,7 @@ fn get_header(r: &mut ByteReader<'_>) -> Result<u8, PersistError> {
     Ok(r.u8()?)
 }
 
-/// Encode a regressor to bytes. Seq2Seq and Kriging are not persistable.
+/// Encode a regressor to bytes. Kriging is not persistable.
 pub fn encode_regressor(model: &TrainedRegressor) -> Result<Vec<u8>, PersistError> {
     let mut w = ByteWriter::new();
     put_header(&mut w, KIND_REGRESSOR);
@@ -224,8 +255,20 @@ pub fn encode_regressor(model: &TrainedRegressor) -> Result<Vec<u8>, PersistErro
             put_spec(&mut w, None);
             w.put_u32(*window as u32);
         }
-        TrainedRegressor::Seq2Seq { .. } => {
-            return Err(PersistError::UnsupportedFamily("Seq2Seq".into()))
+        TrainedRegressor::Seq2Seq {
+            model,
+            x_scaler,
+            y_scaler,
+            params,
+            spec,
+        } => {
+            w.put_u8(FAM_SEQ2SEQ);
+            put_spec(&mut w, Some(spec));
+            put_seq2seq_params(&mut w, params);
+            x_scaler.encode(&mut w);
+            w.put_f64(y_scaler.mean);
+            w.put_f64(y_scaler.std);
+            model.encode(&mut w);
         }
         TrainedRegressor::Kriging { .. } => {
             return Err(PersistError::UnsupportedFamily("Kriging".into()))
@@ -278,6 +321,41 @@ fn decode_regressor_from(r: &mut ByteReader<'_>) -> Result<TrainedRegressor, Per
                 )));
             }
             TrainedRegressor::Harmonic { window }
+        }
+        FAM_SEQ2SEQ => {
+            let spec = need_spec(spec)?;
+            let params = get_seq2seq_params(r)?;
+            let x_scaler = StandardScaler::decode(r)?;
+            let y_scaler = TargetScaler {
+                mean: r.f64()?,
+                std: r.f64()?,
+            };
+            let model = Seq2Seq::decode(r)?;
+            // The network architecture must agree with the framework-level
+            // params and the feature spec it claims to serve; a mismatch
+            // means the payload was stitched together from different files.
+            let cfg = model.config();
+            if cfg.input_dim != spec.dim()
+                || cfg.hidden != params.hidden
+                || cfg.layers != params.layers
+                || cfg.horizon != params.horizon
+            {
+                return Err(PersistError::Codec(CodecError::Invalid(
+                    "Seq2Seq architecture disagrees with stored params/spec".into(),
+                )));
+            }
+            if x_scaler.means.len() != spec.dim() || x_scaler.stds.len() != spec.dim() {
+                return Err(PersistError::Codec(CodecError::Invalid(
+                    "Seq2Seq feature scaler disagrees with feature spec".into(),
+                )));
+            }
+            TrainedRegressor::Seq2Seq {
+                model: Box::new(model),
+                x_scaler,
+                y_scaler,
+                params,
+                spec,
+            }
         }
         _ => {
             return Err(PersistError::UnsupportedFamily(format!(
@@ -488,7 +566,7 @@ mod tests {
     }
 
     #[test]
-    fn seq2seq_and_kriging_report_unsupported() {
+    fn kriging_reports_unsupported() {
         let data = campaign(19);
         let kriging = Lumos5G::new(FeatureSet::L, ModelKind::Kriging { neighbors: 8 })
             .fit_regression(&data)
@@ -497,15 +575,40 @@ mod tests {
             encode_regressor(&kriging),
             Err(PersistError::UnsupportedFamily(_))
         ));
+    }
+
+    #[test]
+    fn seq2seq_round_trip_is_bit_identical_including_horizons() {
+        let data = campaign(19);
         let mut p = quick_seq2seq();
-        p.epochs = 1;
-        let seq = Lumos5G::new(FeatureSet::L, ModelKind::Seq2Seq(p))
+        p.epochs = 2;
+        let model = Lumos5G::new(FeatureSet::LM, ModelKind::Seq2Seq(p))
             .fit_regression(&data)
             .unwrap();
-        assert!(matches!(
-            encode_regressor(&seq),
-            Err(PersistError::UnsupportedFamily(_))
-        ));
+        let bytes = encode_regressor(&model).unwrap();
+        let loaded = decode_regressor(&bytes).unwrap();
+        assert_eq!(loaded.spec(), model.spec());
+        assert_eq!(loaded.seq2seq_params(), model.seq2seq_params());
+
+        // Every k-step horizon decoded from a restored model must match the
+        // original bit-for-bit.
+        let spec = *model.spec().unwrap();
+        let seqs = crate::build_sequences(&data, &spec, p.input_len, p.horizon, p.stride);
+        assert!(!seqs.inputs.is_empty());
+        for hist in seqs.inputs.iter().take(16) {
+            let want = model.predict_sequence_checked(hist).unwrap();
+            let got = loaded.predict_sequence_checked(hist).unwrap();
+            assert_eq!(want.len(), got.len());
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        // Truncations must error cleanly, never panic (the payload is large,
+        // so stride the cut points).
+        for cut in (0..bytes.len()).step_by(257).chain([bytes.len() - 1]) {
+            assert!(decode_regressor(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -396,7 +396,31 @@ impl TrainedRegressor {
 
     /// Multi-step prediction for one feature-vector history (Seq2Seq only;
     /// other models return a one-step vector).
+    ///
+    /// Panics on an empty history or a family with no sequence form
+    /// (Kriging, HarmonicMean); the serving engine uses the non-panicking
+    /// [`Self::predict_sequence_checked`] instead.
     pub fn predict_sequence(&self, history: &[Vec<f64>]) -> Vec<f64> {
+        match self {
+            TrainedRegressor::Kriging { .. } | TrainedRegressor::Harmonic { .. } => {
+                panic!("predict_sequence is not defined for Kriging/HarmonicMean")
+            }
+            _ => self
+                .predict_sequence_checked(history)
+                .expect("non-empty history"),
+        }
+    }
+
+    /// Non-panicking multi-step prediction: the serving-engine sequence
+    /// path. For Seq2Seq, scales `history` with the training-time feature
+    /// scaler, decodes the full `horizon`, and inverse-scales — exactly the
+    /// offline [`Self::predict_sequence`] code path, so online horizons are
+    /// bit-identical to offline ones. Tabular families (GDBT / KNN / RF)
+    /// return a one-step vector from the last history row. Returns `None`
+    /// for an empty history (a warm-up session) or a family with no
+    /// sequence form (Kriging, HarmonicMean), so a short history or a
+    /// hot-swapped family can never unwind a shard worker.
+    pub fn predict_sequence_checked(&self, history: &[Vec<f64>]) -> Option<Vec<f64>> {
         match self {
             TrainedRegressor::Seq2Seq {
                 model,
@@ -406,24 +430,72 @@ impl TrainedRegressor {
             } => {
                 let scaled: Vec<Vec<f64>> =
                     history.iter().map(|x| x_scaler.transform_row(x)).collect();
-                model
-                    .predict(&scaled)
-                    .into_iter()
-                    .map(|z| y_scaler.inverse(z))
-                    .collect()
+                Some(
+                    model
+                        .predict_checked(&scaled)?
+                        .into_iter()
+                        .map(|z| y_scaler.inverse(z))
+                        .collect(),
+                )
             }
             TrainedRegressor::Gdbt { model, .. } => {
-                vec![model.predict_row(history.last().expect("non-empty history"))]
+                history.last().map(|x| vec![model.predict_row(x)])
             }
             TrainedRegressor::Knn { model, .. } => {
-                vec![model.predict_row(history.last().expect("non-empty history"))]
+                history.last().map(|x| vec![model.predict_row(x)])
             }
             TrainedRegressor::RandomForest { model, .. } => {
-                vec![model.predict_row(history.last().expect("non-empty history"))]
+                history.last().map(|x| vec![model.predict_row(x)])
             }
-            TrainedRegressor::Kriging { .. } | TrainedRegressor::Harmonic { .. } => {
-                panic!("predict_sequence is not defined for Kriging/HarmonicMean")
+            TrainedRegressor::Kriging { .. } | TrainedRegressor::Harmonic { .. } => None,
+        }
+    }
+
+    /// Batched multi-step prediction over several histories at once — the
+    /// serving engine's batched-decoder dispatch. Lane `i` of the result is
+    /// bit-identical to `predict_sequence_checked(histories[i])` (the
+    /// Seq2Seq matmuls are row-blocked, which reorders memory traffic but
+    /// never per-lane floating-point operations). Returns `None` under the
+    /// same conditions as the single-history form: any empty lane, or a
+    /// family with no sequence form.
+    pub fn predict_sequence_batch(&self, histories: &[&[Vec<f64>]]) -> Option<Vec<Vec<f64>>> {
+        match self {
+            TrainedRegressor::Seq2Seq {
+                model,
+                x_scaler,
+                y_scaler,
+                ..
+            } => {
+                if histories.iter().any(|h| h.is_empty()) {
+                    return None;
+                }
+                let scaled: Vec<Vec<Vec<f64>>> = histories
+                    .iter()
+                    .map(|h| h.iter().map(|x| x_scaler.transform_row(x)).collect())
+                    .collect();
+                let refs: Vec<&[Vec<f64>]> = scaled.iter().map(|s| s.as_slice()).collect();
+                Some(
+                    model
+                        .predict_batch(&refs)?
+                        .into_iter()
+                        .map(|lane| lane.into_iter().map(|z| y_scaler.inverse(z)).collect())
+                        .collect(),
+                )
             }
+            _ => histories
+                .iter()
+                .map(|h| self.predict_sequence_checked(h))
+                .collect(),
+        }
+    }
+
+    /// Sequence-model hyperparameters (Seq2Seq only). Serving engines use
+    /// the input length to size per-session feature-history buffers and the
+    /// horizon to validate responses.
+    pub fn seq2seq_params(&self) -> Option<&Seq2SeqParams> {
+        match self {
+            TrainedRegressor::Seq2Seq { params, .. } => Some(params),
+            _ => None,
         }
     }
 
@@ -670,6 +742,51 @@ mod tests {
         let recs: Vec<_> = data.records.iter().take(20).cloned().collect();
         let hist: Vec<Vec<f64>> = (0..10).map(|i| spec.extract(&recs, i).unwrap()).collect();
         assert_eq!(m.predict_sequence(&hist).len(), p.horizon);
+
+        // The checked surface agrees bit-for-bit with the legacy one and
+        // types out the empty-history case instead of panicking.
+        let checked = m.predict_sequence_checked(&hist).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&checked), bits(&m.predict_sequence(&hist)));
+        assert_eq!(m.predict_sequence_checked(&[]), None);
+        assert_eq!(m.seq2seq_params(), Some(&p));
+
+        // Batched inference is lane-for-lane bit-identical to singles.
+        let hist2: Vec<Vec<f64>> = (3..13).map(|i| spec.extract(&recs, i).unwrap()).collect();
+        let batch = m
+            .predict_sequence_batch(&[hist.as_slice(), hist2.as_slice()])
+            .unwrap();
+        assert_eq!(bits(&batch[0]), bits(&checked));
+        assert_eq!(bits(&batch[1]), bits(&m.predict_sequence(&hist2)));
+        assert_eq!(m.predict_sequence_batch(&[hist.as_slice(), &[]]), None);
+    }
+
+    #[test]
+    fn families_without_a_sequence_form_return_none_not_panic() {
+        let data = small_data();
+        let hist = vec![vec![0.0, 0.0]];
+        let kriging = Lumos5G::new(FeatureSet::L, ModelKind::Kriging { neighbors: 12 })
+            .fit_regression(&data)
+            .unwrap();
+        assert_eq!(kriging.predict_sequence_checked(&hist), None);
+        assert_eq!(kriging.predict_sequence_batch(&[hist.as_slice()]), None);
+        assert_eq!(kriging.seq2seq_params(), None);
+        let harmonic = Lumos5G::new(FeatureSet::L, ModelKind::HarmonicMean { window: 5 })
+            .fit_regression(&data)
+            .unwrap();
+        assert_eq!(harmonic.predict_sequence_checked(&hist), None);
+
+        // Tabular families reduce to a one-step vector from the last row.
+        let gdbt = Lumos5G::new(FeatureSet::LM, ModelKind::Gdbt(quick_gbdt()))
+            .fit_regression(&data)
+            .unwrap();
+        let spec = FeatureSpec::new(FeatureSet::LM);
+        let row = spec.extract(&data.records, 0).unwrap();
+        let got = gdbt
+            .predict_sequence_checked(std::slice::from_ref(&row))
+            .unwrap();
+        assert_eq!(got, vec![gdbt.predict_one(&row).unwrap()]);
+        assert_eq!(gdbt.predict_sequence_checked(&[]), None);
     }
 
     #[test]

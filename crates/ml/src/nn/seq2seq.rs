@@ -16,6 +16,7 @@
 
 use super::lstm::{LstmLayer, StepCache};
 use super::{Adam, Param};
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -140,7 +141,7 @@ impl Seq2Seq {
     /// Encode an input sequence; returns per-layer (h, c) finals plus all
     /// caches (needed only for training).
     #[allow(clippy::type_complexity)]
-    fn encode(&self, xs: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<StepCache>>) {
+    fn run_encoder(&self, xs: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Vec<f64>>, Vec<Vec<StepCache>>) {
         let hdim = self.cfg.hidden;
         let mut h: Vec<Vec<f64>> = vec![vec![0.0; hdim]; self.cfg.layers];
         let mut c: Vec<Vec<f64>> = vec![vec![0.0; hdim]; self.cfg.layers];
@@ -162,7 +163,7 @@ impl Seq2Seq {
 
     /// Run the decoder from encoder states. During training,
     /// `teacher: Some(targets)` supplies ground truth for forced steps.
-    fn decode(
+    fn run_decoder(
         &self,
         mut h: Vec<Vec<f64>>,
         mut c: Vec<Vec<f64>>,
@@ -217,12 +218,197 @@ impl Seq2Seq {
     }
 
     /// Predict `horizon` future (standardized) values for one input
+    /// sequence of feature vectors, or `None` when the sequence is empty
+    /// (a warm-up session has nothing to encode). The serving engine uses
+    /// this surface so a short history can never unwind a shard worker.
+    pub fn predict_checked(&self, xs: &[Vec<f64>]) -> Option<Vec<f64>> {
+        if xs.is_empty() {
+            return None;
+        }
+        let (h, c, _) = self.run_encoder(xs);
+        let (trace, _) = self.run_decoder(h, c, None);
+        Some(trace.outputs)
+    }
+
+    /// Predict `horizon` future (standardized) values for one input
     /// sequence of feature vectors.
+    ///
+    /// Panics on an empty input sequence; use [`Self::predict_checked`]
+    /// where the history length is not statically guaranteed.
     pub fn predict(&self, xs: &[Vec<f64>]) -> Vec<f64> {
-        assert!(!xs.is_empty(), "cannot predict from an empty sequence");
-        let (h, c, _) = self.encode(xs);
-        let (trace, _) = self.decode(h, c, None);
-        trace.outputs
+        self.predict_checked(xs)
+            .expect("cannot predict from an empty sequence")
+    }
+
+    /// Batched inference: decode `horizon` (standardized) values for a
+    /// block of input sequences at once, or `None` if any lane is empty.
+    /// Lanes may have different lengths.
+    ///
+    /// Lane `i` of the result is bit-identical to `predict(&seqs[i])`:
+    /// the fused-gate matmuls are blocked over weight rows (see
+    /// [`super::batched_matvec_bias`]) so each weight row is applied to
+    /// every lane while hot in cache — batching reorders memory traffic,
+    /// never the per-lane floating-point operations. This is what lets the
+    /// serving engine drain B sessions per dispatch without perturbing the
+    /// bit-exactness contract.
+    pub fn predict_batch(&self, seqs: &[&[Vec<f64>]]) -> Option<Vec<Vec<f64>>> {
+        if seqs.iter().any(|s| s.is_empty()) {
+            return None;
+        }
+        let lanes = seqs.len();
+        if lanes == 0 {
+            return Some(Vec::new());
+        }
+        let hdim = self.cfg.hidden;
+        let layers = self.cfg.layers;
+        // Per-layer, per-lane recurrent state; encoder finals seed the
+        // decoder exactly as in the single-sequence path.
+        let mut h: Vec<Vec<Vec<f64>>> = vec![vec![vec![0.0; hdim]; lanes]; layers];
+        let mut c: Vec<Vec<Vec<f64>>> = vec![vec![vec![0.0; hdim]; lanes]; layers];
+
+        let max_len = seqs.iter().map(|s| s.len()).max().unwrap_or(0);
+        for t in 0..max_len {
+            let active: Vec<usize> = (0..lanes).filter(|&b| t < seqs[b].len()).collect();
+            let mut input: Vec<Vec<f64>> = active.iter().map(|&b| seqs[b][t].clone()).collect();
+            for (l, layer) in self.enc.iter().enumerate() {
+                let xs: Vec<&[f64]> = input.iter().map(|v| v.as_slice()).collect();
+                let hp: Vec<&[f64]> = active.iter().map(|&b| h[l][b].as_slice()).collect();
+                let cp: Vec<&[f64]> = active.iter().map(|&b| c[l][b].as_slice()).collect();
+                let (hn, cn) = layer.forward_batch(&xs, &hp, &cp);
+                for (&b, cnb) in active.iter().zip(cn) {
+                    c[l][b] = cnb;
+                }
+                for (&b, hnb) in active.iter().zip(&hn) {
+                    h[l][b] = hnb.clone();
+                }
+                input = hn;
+            }
+        }
+
+        let mut outputs: Vec<Vec<f64>> = vec![Vec::with_capacity(self.cfg.horizon); lanes];
+        let mut prev: Vec<f64> = vec![0.0; lanes]; // start token per lane
+        for _ in 0..self.cfg.horizon {
+            let mut input: Vec<Vec<f64>> = prev.iter().map(|&p| vec![p]).collect();
+            for (l, layer) in self.dec.iter().enumerate() {
+                let xs: Vec<&[f64]> = input.iter().map(|v| v.as_slice()).collect();
+                let hp: Vec<&[f64]> = h[l].iter().map(|v| v.as_slice()).collect();
+                let cp: Vec<&[f64]> = c[l].iter().map(|v| v.as_slice()).collect();
+                let (hn, cn) = layer.forward_batch(&xs, &hp, &cp);
+                c[l] = cn;
+                h[l] = hn.clone();
+                input = hn;
+            }
+            for (b, (out, prev)) in outputs.iter_mut().zip(prev.iter_mut()).enumerate() {
+                let h_top = &h[layers - 1][b];
+                let y: f64 = self.b_out.w[0]
+                    + self
+                        .w_out
+                        .w
+                        .iter()
+                        .zip(h_top)
+                        .map(|(w, h)| w * h)
+                        .sum::<f64>();
+                out.push(y);
+                *prev = y;
+            }
+        }
+        Some(outputs)
+    }
+
+    /// Serialize the configuration and all weights (raw IEEE-754 bits, so
+    /// a round trip is bit-exact). Optimizer moments are deliberately not
+    /// persisted: a decoded model serves identically, and simply restarts
+    /// Adam cold if it is ever retrained.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_len(self.cfg.input_dim);
+        w.put_len(self.cfg.hidden);
+        w.put_len(self.cfg.layers);
+        w.put_len(self.cfg.horizon);
+        w.put_len(self.cfg.epochs);
+        w.put_len(self.cfg.batch_size);
+        w.put_f64(self.cfg.lr);
+        w.put_f64(self.cfg.teacher_forcing);
+        w.put_f64(self.cfg.clip_norm);
+        w.put_u64(self.cfg.seed);
+        for layer in self.enc.iter().chain(self.dec.iter()) {
+            w.put_f64s(&layer.w.w);
+            w.put_f64s(&layer.b.w);
+        }
+        w.put_f64s(&self.w_out.w);
+        w.put_f64s(&self.b_out.w);
+    }
+
+    /// Inverse of [`Self::encode`]. Every length is validated against the
+    /// decoded architecture, so corrupt input errors instead of panicking.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let cfg = Seq2SeqConfig {
+            input_dim: r.len()?,
+            hidden: r.len()?,
+            layers: r.len()?,
+            horizon: r.len()?,
+            epochs: r.len()?,
+            batch_size: r.len()?,
+            lr: r.f64()?,
+            teacher_forcing: r.f64()?,
+            clip_norm: r.f64()?,
+            seed: r.u64()?,
+        };
+        if cfg.input_dim == 0 || cfg.hidden == 0 || cfg.layers == 0 || cfg.horizon == 0 {
+            return Err(CodecError::Invalid(
+                "degenerate Seq2Seq architecture".into(),
+            ));
+        }
+        fn param(r: &mut ByteReader<'_>, expect: usize, what: &str) -> Result<Param, CodecError> {
+            let vals = r.f64s()?;
+            if vals.len() != expect {
+                return Err(CodecError::Invalid(format!(
+                    "{what}: {} weights, expected {expect}",
+                    vals.len()
+                )));
+            }
+            let mut p = Param::zeros(expect);
+            p.w = vals;
+            Ok(p)
+        }
+        fn layer(
+            r: &mut ByteReader<'_>,
+            input_dim: usize,
+            hidden: usize,
+            what: &str,
+        ) -> Result<LstmLayer, CodecError> {
+            let wlen = input_dim
+                .checked_add(hidden)
+                .and_then(|cols| cols.checked_mul(4).and_then(|v| v.checked_mul(hidden)))
+                .ok_or_else(|| CodecError::Invalid("Seq2Seq layer shape overflows".into()))?;
+            Ok(LstmLayer {
+                input_dim,
+                hidden,
+                w: param(r, wlen, what)?,
+                b: param(r, 4 * hidden, what)?,
+            })
+        }
+        let enc = (0..cfg.layers)
+            .map(|l| {
+                let input = if l == 0 { cfg.input_dim } else { cfg.hidden };
+                layer(r, input, cfg.hidden, "encoder layer")
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let dec = (0..cfg.layers)
+            .map(|l| {
+                let input = if l == 0 { 1 } else { cfg.hidden };
+                layer(r, input, cfg.hidden, "decoder layer")
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let w_out = param(r, cfg.hidden, "output head weights")?;
+        let b_out = param(r, 1, "output head bias")?;
+        Ok(Seq2Seq {
+            adam: Adam::new(cfg.lr),
+            cfg,
+            enc,
+            dec,
+            w_out,
+            b_out,
+        })
     }
 
     /// Forward + backward on one sample; accumulates gradients and returns
@@ -232,9 +418,9 @@ impl Seq2Seq {
         let layers = self.cfg.layers;
         let hdim = self.cfg.hidden;
 
-        let (h_enc, c_enc, enc_caches) = self.encode(xs);
+        let (h_enc, c_enc, enc_caches) = self.run_encoder(xs);
         let tf = self.cfg.teacher_forcing;
-        let (trace, _forced) = self.decode(h_enc, c_enc, Some((ys, rng, tf)));
+        let (trace, _forced) = self.run_decoder(h_enc, c_enc, Some((ys, rng, tf)));
 
         let k = self.cfg.horizon as f64;
         let loss: f64 = trace
@@ -305,36 +491,33 @@ impl Seq2Seq {
         self.b_out.zero_grad();
     }
 
-    fn clip_and_step(&mut self, scale: f64) {
-        // Scale by 1/batch, then clip by global norm, then Adam.
-        let mut params: Vec<*mut Param> = Vec::new();
+    /// Visit every parameter tensor mutably, in a fixed order (encoder
+    /// layers, decoder layers, output head).
+    fn for_each_param(&mut self, mut f: impl FnMut(&mut Param)) {
         for l in self.enc.iter_mut().chain(self.dec.iter_mut()) {
-            params.push(&mut l.w as *mut Param);
-            params.push(&mut l.b as *mut Param);
+            f(&mut l.w);
+            f(&mut l.b);
         }
-        params.push(&mut self.w_out as *mut Param);
-        params.push(&mut self.b_out as *mut Param);
+        f(&mut self.w_out);
+        f(&mut self.b_out);
+    }
 
-        // SAFETY: the raw pointers reference distinct fields of `self` and
-        // are used strictly sequentially within this scope.
-        unsafe {
-            for &p in &params {
-                (*p).scale_grad(scale);
-            }
-            let norm_sq: f64 = params.iter().map(|&p| (*p).grad_norm_sq()).sum();
-            let norm = norm_sq.sqrt();
-            if norm > self.cfg.clip_norm {
-                let s = self.cfg.clip_norm / norm;
-                for &p in &params {
-                    (*p).scale_grad(s);
-                }
-            }
-            self.adam.begin_step();
-            let adam = self.adam;
-            for &p in &params {
-                adam.update(&mut *p);
-            }
+    fn clip_and_step(&mut self, scale: f64) {
+        // Scale by 1/batch, then clip by global norm, then Adam. Each phase
+        // is one sequential pass over the parameters in the same fixed
+        // order, so the update is bit-identical to a single fused sweep.
+        let clip_norm = self.cfg.clip_norm;
+        self.for_each_param(|p| p.scale_grad(scale));
+        let mut norm_sq = 0.0;
+        self.for_each_param(|p| norm_sq += p.grad_norm_sq());
+        let norm = norm_sq.sqrt();
+        if norm > clip_norm {
+            let s = clip_norm / norm;
+            self.for_each_param(|p| p.scale_grad(s));
         }
+        self.adam.begin_step();
+        let adam = self.adam;
+        self.for_each_param(|p| adam.update(p));
     }
 
     /// Train on `(inputs, targets)` pairs; returns the mean training loss
@@ -398,6 +581,91 @@ mod tests {
         let m = Seq2Seq::new(tiny_cfg());
         let xs = vec![vec![0.1, 0.2], vec![0.3, -0.1]];
         assert_eq!(m.predict(&xs), m.predict(&xs));
+    }
+
+    #[test]
+    fn predict_checked_handles_empty_history() {
+        let m = Seq2Seq::new(tiny_cfg());
+        assert_eq!(m.predict_checked(&[]), None);
+        let xs = vec![vec![0.1, 0.2]];
+        assert_eq!(m.predict_checked(&xs), Some(m.predict(&xs)));
+    }
+
+    #[test]
+    fn predict_batch_bit_matches_single_lane_predict() {
+        let m = Seq2Seq::new(tiny_cfg());
+        // Lanes of different lengths, including one long enough to exercise
+        // several encoder steps.
+        let seqs: Vec<Vec<Vec<f64>>> = (0..9)
+            .map(|b| {
+                (0..=(b % 4))
+                    .map(|t| {
+                        let s = (b * 7 + t) as f64;
+                        vec![(s * 0.31).sin(), (s * 0.17).cos()]
+                    })
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&[Vec<f64>]> = seqs.iter().map(|s| s.as_slice()).collect();
+        for width in [1usize, 2, 3, 8, 9] {
+            for chunk in refs.chunks(width) {
+                let batched = m.predict_batch(chunk).unwrap();
+                for (lane, seq) in chunk.iter().enumerate() {
+                    let single = m.predict(seq);
+                    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                    assert_eq!(
+                        bits(&batched[lane]),
+                        bits(&single),
+                        "lane {lane} of width-{width} batch diverged"
+                    );
+                }
+            }
+        }
+        // Any empty lane poisons the whole batch into a typed None.
+        let with_empty: Vec<&[Vec<f64>]> = vec![&seqs[0], &[]];
+        assert_eq!(m.predict_batch(&with_empty), None);
+        assert_eq!(m.predict_batch(&[]), Some(Vec::new()));
+    }
+
+    #[test]
+    fn codec_round_trip_is_bit_identical() {
+        let mut m = Seq2Seq::new(tiny_cfg());
+        // A trained model has non-initial weights — round-trip those.
+        let inputs: Vec<Vec<Vec<f64>>> = (0..8)
+            .map(|s| {
+                (0..4)
+                    .map(|t| vec![(s as f64 + t as f64 * 0.5).sin(), (t as f64).cos()])
+                    .collect()
+            })
+            .collect();
+        let targets: Vec<Vec<f64>> = (0..8)
+            .map(|s| (0..3).map(|t| ((s + t) as f64 * 0.25).sin()).collect())
+            .collect();
+        m.train(&inputs, &targets);
+
+        let mut w = ByteWriter::new();
+        m.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let restored = Seq2Seq::decode(&mut r).unwrap();
+        r.finish().unwrap();
+
+        assert_eq!(restored.config(), m.config());
+        let xs = vec![vec![0.4, -0.2], vec![0.1, 0.9], vec![-0.3, 0.0]];
+        let a = m.predict(&xs);
+        let b = restored.predict(&xs);
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "decoded model must predict bit-identically"
+        );
+
+        // Every truncation must error, never panic.
+        for cut in (0..bytes.len()).step_by(41) {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let outcome = Seq2Seq::decode(&mut r).and_then(|_| r.finish());
+            assert!(outcome.is_err(), "truncation at {cut} bytes must fail");
+        }
     }
 
     /// Full-model finite-difference gradient check with teacher forcing = 1

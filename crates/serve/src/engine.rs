@@ -18,7 +18,7 @@ use crate::fault::FaultPlan;
 use crate::metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics};
 use crate::queue::{IngestQueue, OverloadPolicy};
 use crate::registry::ModelRegistry;
-use crate::shard::{run_shard, Ingest, Prediction, ShardContext};
+use crate::shard::{run_shard, Ingest, Prediction, SequenceServing, ShardContext};
 use crossbeam::channel::{self, Receiver, Sender};
 use lumos5g::TrainedRegressor;
 use lumos5g::{FeatureSet, FeatureSpec};
@@ -42,6 +42,12 @@ pub struct EngineConfig {
     /// `None` (the default) disables the clock entirely, keeping the
     /// fault-free hot path free of `Instant::now` calls.
     pub predict_budget: Option<Duration>,
+    /// When the served model is a Seq2Seq: how many already-queued records
+    /// a shard may answer with one batched decoder call (capped at one
+    /// record per UE per batch). Responses are bit-identical for any value;
+    /// larger batches amortize weight-matrix traffic. Ignored for
+    /// single-row families.
+    pub decode_batch: usize,
 }
 
 impl Default for EngineConfig {
@@ -51,6 +57,7 @@ impl Default for EngineConfig {
             queue_capacity: 1024,
             policy: OverloadPolicy::Block,
             predict_budget: None,
+            decode_batch: 8,
         }
     }
 }
@@ -67,6 +74,10 @@ pub enum RejectReason {
     /// GPS accuracy is non-finite, negative, or beyond any plausible
     /// sensor output (> [`MAX_GPS_ACCURACY_M`]).
     AbsurdGpsAccuracy,
+    /// `throughput_mbps` is finite but negative — impossible telemetry
+    /// that would corrupt session windows, harmonic fallbacks and the
+    /// online MAE if admitted.
+    NegativeThroughput,
 }
 
 /// GPS accuracy ceiling: a reported accuracy radius beyond 10 km is sensor
@@ -75,7 +86,7 @@ pub const MAX_GPS_ACCURACY_M: f64 = 10_000.0;
 
 impl RejectReason {
     /// Number of reasons (for fixed-size counters).
-    pub const COUNT: usize = 4;
+    pub const COUNT: usize = 5;
 
     /// Dense index for counter arrays.
     pub fn index(self) -> usize {
@@ -84,6 +95,7 @@ impl RejectReason {
             RejectReason::NonFiniteSignal => 1,
             RejectReason::NonFiniteCoords => 2,
             RejectReason::AbsurdGpsAccuracy => 3,
+            RejectReason::NegativeThroughput => 4,
         }
     }
 
@@ -94,6 +106,7 @@ impl RejectReason {
             RejectReason::NonFiniteSignal,
             RejectReason::NonFiniteCoords,
             RejectReason::AbsurdGpsAccuracy,
+            RejectReason::NegativeThroughput,
         ]
     }
 }
@@ -102,6 +115,9 @@ impl RejectReason {
 pub fn admit(record: &Record) -> Result<(), RejectReason> {
     if !record.throughput_mbps.is_finite() {
         return Err(RejectReason::NonFiniteThroughput);
+    }
+    if record.throughput_mbps < 0.0 {
+        return Err(RejectReason::NegativeThroughput);
     }
     if !record.lte_rsrp_dbm.is_finite() || !record.nr_ssrsrp_dbm.is_finite() {
         return Err(RejectReason::NonFiniteSignal);
@@ -288,11 +304,22 @@ impl Engine {
             .spec()
             .copied()
             .unwrap_or_else(|| FeatureSpec::new(FeatureSet::L));
+        // Sequence-serving mode is fixed at engine start from the initial
+        // model, like the spec: hot swaps must keep the model family.
+        let seq = registry
+            .current()
+            .regressor
+            .seq2seq_params()
+            .map(|p| SequenceServing {
+                input_len: p.input_len,
+                batch: cfg.decode_batch.max(1),
+            });
         let ctx = ShardContext {
             spec,
             stale_after: cfg.policy.stale_after(),
             predict_budget: cfg.predict_budget,
             faults,
+            seq,
         };
         let (out_tx, out_rx) = channel::unbounded();
         let nshards = cfg.shards.max(1);
@@ -590,6 +617,7 @@ mod tests {
         bad_coord.lon = f64::NAN;
         let mut bad_gps = rec(1, 3, 100.0);
         bad_gps.gps_accuracy_m = 1e7;
+        let neg_thpt = rec(1, 4, -25.0);
         assert_eq!(
             engine.offer(1, bad_thpt),
             SubmitOutcome::Rejected(RejectReason::NonFiniteThroughput)
@@ -606,13 +634,49 @@ mod tests {
             engine.offer(1, bad_gps),
             SubmitOutcome::Rejected(RejectReason::AbsurdGpsAccuracy)
         );
-        assert_eq!(engine.offer(1, rec(1, 4, 100.0)), SubmitOutcome::Accepted);
-        assert_eq!(engine.rejected_by_reason(), [1, 1, 1, 1]);
+        assert_eq!(
+            engine.offer(1, neg_thpt),
+            SubmitOutcome::Rejected(RejectReason::NegativeThroughput)
+        );
+        assert_eq!(engine.offer(1, rec(1, 5, 100.0)), SubmitOutcome::Accepted);
+        assert_eq!(engine.rejected_by_reason(), [1, 1, 1, 1, 1]);
         let (report, responses) = engine.shutdown();
-        assert_eq!(report.rejected, 4);
-        assert_eq!(report.rejected_by, [1, 1, 1, 1]);
+        assert_eq!(report.rejected, 5);
+        assert_eq!(report.rejected_by, [1, 1, 1, 1, 1]);
         assert_eq!(report.processed, 1, "rejected records never reach a shard");
         assert_eq!(responses.iter().count(), 1);
+    }
+
+    /// Regression: a finite-but-negative throughput used to pass admission
+    /// and reach the shards, where it corrupted harmonic fallbacks (whose
+    /// epsilon clamp assumes non-negative rates) and the online MAE. A zero
+    /// throughput (an outage second) must still be admitted.
+    #[test]
+    fn negative_throughput_is_rejected_but_zero_is_admitted() {
+        let engine = Engine::start(
+            TrainedRegressor::Harmonic { window: 5 },
+            EngineConfig {
+                shards: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            engine.offer(1, rec(1, 0, -0.001)),
+            SubmitOutcome::Rejected(RejectReason::NegativeThroughput)
+        );
+        assert_eq!(
+            engine.offer(1, rec(1, 0, f64::NEG_INFINITY)),
+            SubmitOutcome::Rejected(RejectReason::NonFiniteThroughput),
+            "non-finite keeps its own reason"
+        );
+        assert_eq!(engine.offer(1, rec(1, 0, 0.0)), SubmitOutcome::Accepted);
+        assert_eq!(engine.offer(1, rec(1, 1, 425.5)), SubmitOutcome::Accepted);
+        let (report, responses) = engine.shutdown();
+        assert_eq!(report.processed, 2);
+        assert_eq!(report.rejected, 2);
+        let got: Vec<_> = responses.iter().collect();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|p| p.measured_mbps >= 0.0));
     }
 
     #[test]

@@ -31,6 +31,13 @@
 //! * **Backpressure** — ingest queues are bounded; [`queue::OverloadPolicy`]
 //!   picks between blocking the producer, shedding load (counted, never
 //!   silent), and a dequeue-side staleness deadline.
+//! * **Sequence serving** — when the engine starts with a Seq2Seq model,
+//!   sessions additionally retain the per-second feature-vector history its
+//!   encoder consumes, and shards opportunistically answer up to
+//!   [`engine::EngineConfig::decode_batch`] queued records (one per UE) with
+//!   a single batched decoder call. Responses carry the full k-step horizon
+//!   ([`shard::Prediction::horizon_mbps`]) and are bit-identical to the
+//!   offline `predict_sequence` for any shard count and batch size.
 //! * **Fault tolerance** — admission control rejects malformed telemetry at
 //!   the front door with a typed [`engine::RejectReason`]; per-record panic
 //!   isolation quarantines poison records; a harmonic fallback chain
@@ -63,4 +70,4 @@ pub use queue::OverloadPolicy;
 pub use registry::{ModelRegistry, ModelVersion};
 pub use replay::{ReplaySource, ReplayStats};
 pub use session::Session;
-pub use shard::{Ingest, Prediction, ShardContext};
+pub use shard::{Ingest, Prediction, SequenceServing, ShardContext};

@@ -27,6 +27,11 @@ pub struct PendingPrediction {
 pub struct Session {
     window: VecDeque<Record>,
     capacity: usize,
+    /// Extracted feature vectors for Seq2Seq serving, one per contiguous
+    /// second, oldest first. Empty unless the engine serves a sequence
+    /// model (`feature_capacity > 0`).
+    features: VecDeque<Vec<f64>>,
+    feature_capacity: usize,
     /// Serving cell of the newest record (1000 = LTE macro).
     pub last_cell: u32,
     /// Whether the UE was on 5G NR at the newest record.
@@ -43,9 +48,18 @@ impl Session {
     /// New session retaining at most `capacity` records (use
     /// `FeatureSpec::required_window()`).
     pub fn new(capacity: usize) -> Self {
+        Session::for_sequences(capacity, 0)
+    }
+
+    /// New session that additionally retains the last `input_len` extracted
+    /// feature vectors — the encoder history a Seq2Seq model consumes. Pass
+    /// `input_len == 0` for single-row families (no feature history kept).
+    pub fn for_sequences(capacity: usize, input_len: usize) -> Self {
         Session {
             window: VecDeque::with_capacity(capacity.max(1)),
             capacity: capacity.max(1),
+            features: VecDeque::with_capacity(input_len),
+            feature_capacity: input_len,
             last_cell: 1000,
             on_5g: false,
             last_t: None,
@@ -76,6 +90,11 @@ impl Session {
         };
         if !contiguous {
             self.window.clear();
+            // A spliced record window would already be rejected by the
+            // extractor, but the feature history must reset with it: its
+            // entries map to consecutive seconds of one pass, and a gap
+            // would silently misalign the encoder input.
+            self.features.clear();
             self.resets += 1;
         }
         self.last_cell = record.cell_id;
@@ -110,6 +129,32 @@ impl Session {
             .map(|r| 1.0 / r.throughput_mbps.max(1e-6))
             .sum();
         Some(self.window.len() as f64 / inv_sum)
+    }
+
+    /// Append one extracted feature vector to the sequence history.
+    ///
+    /// Call exactly once per record whose window admitted an extraction;
+    /// `push` clears the history on any discontinuity, so consecutive
+    /// entries always describe consecutive seconds — the online analogue of
+    /// the offline sliding windows `build_sequences` emits.
+    pub fn record_features(&mut self, features: Vec<f64>) {
+        if self.feature_capacity == 0 {
+            return;
+        }
+        if self.features.len() == self.feature_capacity {
+            self.features.pop_front();
+        }
+        self.features.push_back(features);
+    }
+
+    /// The retained feature history, oldest first (contiguous slice).
+    pub fn feature_history(&mut self) -> &[Vec<f64>] {
+        self.features.make_contiguous()
+    }
+
+    /// Feature vectors currently retained.
+    pub fn feature_len(&self) -> usize {
+        self.features.len()
     }
 
     /// Records currently held.
@@ -248,6 +293,35 @@ mod tests {
         s.push(rec(1, 2, 0.0));
         let hm = s.harmonic_estimate().unwrap();
         assert!(hm.is_finite() && hm >= 0.0);
+    }
+
+    #[test]
+    fn feature_history_is_bounded_and_resets_on_discontinuity() {
+        let mut s = Session::for_sequences(4, 3);
+        for t in 0..5 {
+            s.push(rec(1, t, 100.0));
+            s.record_features(vec![t as f64]);
+        }
+        assert_eq!(s.feature_len(), 3);
+        let hist: Vec<f64> = s.feature_history().iter().map(|v| v[0]).collect();
+        assert_eq!(hist, vec![2.0, 3.0, 4.0]);
+        // A time gap clears the feature history along with the window.
+        s.push(rec(1, 7, 100.0));
+        assert_eq!(s.feature_len(), 0);
+        assert_eq!(s.resets, 1);
+        // ... and a pass change does too.
+        s.record_features(vec![7.0]);
+        s.push(rec(2, 0, 100.0));
+        assert_eq!(s.feature_len(), 0);
+    }
+
+    #[test]
+    fn single_row_sessions_never_retain_features() {
+        let mut s = Session::new(4);
+        s.push(rec(1, 0, 100.0));
+        s.record_features(vec![1.0, 2.0]);
+        assert_eq!(s.feature_len(), 0);
+        assert!(s.feature_history().is_empty());
     }
 
     #[test]

@@ -58,10 +58,26 @@ pub struct Prediction {
     pub measured_mbps: f64,
     /// Enqueue-to-emit latency, ns.
     pub latency_ns: u64,
+    /// Full k-step-ahead horizon when a sequence model (Seq2Seq) served
+    /// this response; `horizon_mbps[0]` equals `predicted_mbps`. `None` for
+    /// single-row families, warm-ups and degraded responses. Every entry is
+    /// finite when `Some`.
+    pub horizon_mbps: Option<Vec<f64>>,
     /// True when this response was served on a degraded path: the model
     /// call failed (panic / non-finite / over budget) and the harmonic
     /// fallback answered, or the record was quarantined.
     pub degraded: bool,
+}
+
+/// Sequence-serving shard configuration, present when the engine serves a
+/// Seq2Seq model (see `EngineConfig::decode_batch`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequenceServing {
+    /// Encoder history length the served model was trained with
+    /// (`Seq2SeqParams::input_len`).
+    pub input_len: usize,
+    /// Maximum records answered per batched model call.
+    pub batch: usize,
 }
 
 /// Per-worker serving context: everything a shard needs besides its
@@ -79,16 +95,22 @@ pub struct ShardContext {
     pub predict_budget: Option<Duration>,
     /// Deterministic fault injection (chaos testing); `None` in production.
     pub faults: Option<Arc<FaultPlan>>,
+    /// Sequence-serving mode: `Some` when the served model predicts from a
+    /// feature-vector history (Seq2Seq). `None` serves single-row families
+    /// on the unbatched path.
+    pub seq: Option<SequenceServing>,
 }
 
 impl ShardContext {
-    /// A plain production context: no deadline, no budget, no faults.
+    /// A plain production context: no deadline, no budget, no faults,
+    /// single-row serving.
     pub fn new(spec: FeatureSpec) -> Self {
         ShardContext {
             spec,
             stale_after: None,
             predict_budget: None,
             faults: None,
+            seq: None,
         }
     }
 }
@@ -98,6 +120,7 @@ struct StepOutcome {
     predicted: Option<f64>,
     degraded: bool,
     fallback: bool,
+    horizon: Option<Vec<f64>>,
     model_version: u64,
 }
 
@@ -117,6 +140,9 @@ pub fn run_shard(
     out: Sender<Prediction>,
     metrics: Arc<ShardMetrics>,
 ) {
+    if let Some(seq) = ctx.seq {
+        return run_shard_sequence(shard, ctx, seq, registry, rx, out, metrics);
+    }
     let required = ctx.spec.required_window();
     let mut sessions: HashMap<u64, Session> = HashMap::new();
     for msg in rx.iter() {
@@ -174,6 +200,7 @@ pub fn run_shard(
                 predicted: outcome.0,
                 degraded: outcome.1,
                 fallback: outcome.1,
+                horizon: None,
                 model_version: model.version,
             }
         }));
@@ -189,6 +216,7 @@ pub fn run_shard(
                     predicted: None,
                     degraded: true,
                     fallback: false,
+                    horizon: None,
                     model_version: registry.current().version,
                 }
             }
@@ -217,6 +245,7 @@ pub fn run_shard(
                 predicted_mbps: outcome.predicted,
                 measured_mbps: measured,
                 latency_ns,
+                horizon_mbps: outcome.horizon,
                 degraded: outcome.degraded,
             })
             .is_err()
@@ -228,6 +257,302 @@ pub fn run_shard(
             // Injected *after* the response, so supervision is exercised
             // without violating one-response-per-accepted-record.
             panic!("chaos: injected worker kill on shard {shard} (ue {ue} pass {pass_id} t {t})");
+        }
+    }
+}
+
+/// What phase 1 (session update + feature extraction) decided for one
+/// dequeued record, before the shared model call.
+enum LaneState {
+    /// Panic during session update/extraction: answered degraded-with-None.
+    Quarantined,
+    /// Not enough contiguous history yet for an encoder input.
+    Warmup,
+    /// An injected predict fault diverts this lane straight to the
+    /// harmonic fallback, never into the shared batch call.
+    Fallback,
+    /// A snapshot of the session's encoder history, ready to decode.
+    Ready(Vec<Vec<f64>>),
+}
+
+/// One dequeued record flowing through a batched dispatch.
+struct Lane {
+    ue: u64,
+    pass_id: u32,
+    t: u32,
+    measured: f64,
+    enqueued: Instant,
+    state: LaneState,
+}
+
+fn fallback_by_ue(sessions: &HashMap<u64, Session>, ue: u64) -> (Option<f64>, bool) {
+    (sessions.get(&ue).and_then(|s| s.harmonic_estimate()), true)
+}
+
+/// Run one shard worker in sequence-serving mode until ingest disconnects.
+///
+/// Differs from the single-record loop in two ways. First, each UE session
+/// additionally accumulates the per-second feature vectors a Seq2Seq
+/// encoder consumes, reset together with the record window on any
+/// discontinuity — so a warm session's history is exactly one of the
+/// sliding windows `build_sequences` emits offline. Second, the shard
+/// opportunistically drains up to `seq.batch` already-queued records per
+/// dispatch and answers them with one batched `predict_sequence_batch`
+/// call. The drain is capped at one record per UE: a UE's prediction must
+/// settle against its next record before that record is served, so a
+/// same-UE follow-up is carried into the next dispatch. Together with the
+/// bit-exact batched kernels underneath, that makes every response — and
+/// the online MAE — identical for any `decode_batch`, including 1.
+///
+/// The fallback chain matches the single-record path, applied per batch
+/// where the model call is shared: a panicking or over-budget batch call,
+/// or a lane whose horizon comes back empty/non-finite, answers from that
+/// session's harmonic estimate and is tagged `degraded`.
+fn run_shard_sequence(
+    shard: usize,
+    ctx: ShardContext,
+    seq: SequenceServing,
+    registry: Arc<ModelRegistry>,
+    rx: Receiver<Ingest>,
+    out: Sender<Prediction>,
+    metrics: Arc<ShardMetrics>,
+) {
+    let required = ctx.spec.required_window();
+    let input_len = seq.input_len.max(1);
+    let batch_cap = seq.batch.max(1);
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut carry: Option<Ingest> = None;
+    // An armed worker kill waiting for a safe point: the panic must not
+    // fire while a drained-but-unanswered carry record is in hand, or that
+    // record would vanish from both the queue and the batch.
+    let mut pending_kill: Option<(u64, u32, u32)> = None;
+    loop {
+        // Block for the first record, then drain whatever is already queued
+        // up to the batch cap (one record per UE). A worker about to die
+        // serves only the carried record, so the final batch cannot strand
+        // a fresh carry of its own.
+        let first = match carry.take() {
+            Some(msg) => msg,
+            None => match rx.recv() {
+                Ok(msg) => msg,
+                Err(_) => return, // ingest disconnected and drained
+            },
+        };
+        let mut batch = vec![first];
+        while pending_kill.is_none() && batch.len() < batch_cap && carry.is_none() {
+            match rx.try_recv() {
+                Ok(msg) if batch.iter().any(|b| b.ue == msg.ue) => carry = Some(msg),
+                Ok(msg) => batch.push(msg),
+                // Empty: serve what we have. Disconnected: the next recv
+                // exits after this final batch is answered.
+                Err(_) => break,
+            }
+        }
+
+        // Phase 1, in dequeue order: session update, feature extraction,
+        // per-record panic isolation — everything except the model call.
+        let mut lanes: Vec<Lane> = Vec::with_capacity(batch.len());
+        for msg in batch {
+            let Ingest {
+                ue,
+                record,
+                enqueued,
+            } = msg;
+            if let Some(max_age) = ctx.stale_after {
+                if enqueued.elapsed() > max_age {
+                    metrics.shed_stale.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
+            let (pass_id, t, measured) = (record.pass_id, record.t, record.throughput_mbps);
+            let fault = match &ctx.faults {
+                Some(plan) => plan.fault_for(RecordKey::of(ue, &record)),
+                None => RecordFault::NONE,
+            };
+            metrics.processed.fetch_add(1, Ordering::Relaxed);
+            if fault.kill_worker {
+                pending_kill = Some((ue, pass_id, t));
+            }
+            let state = panic::catch_unwind(AssertUnwindSafe(|| {
+                if fault.poison {
+                    panic!("chaos: injected poison record (ue {ue} pass {pass_id} t {t})");
+                }
+                let session = sessions
+                    .entry(ue)
+                    .or_insert_with(|| Session::for_sequences(required, input_len));
+                let resets_before = session.resets;
+                if let Some(err) = session.push(record) {
+                    metrics.record_error(err);
+                }
+                metrics
+                    .resets
+                    .fetch_add(session.resets - resets_before, Ordering::Relaxed);
+                if let Some(x) = ctx.spec.extract_latest(session.window()) {
+                    session.record_features(x);
+                }
+                if session.feature_len() < input_len {
+                    LaneState::Warmup
+                } else if fault.predict != PredictFault::None {
+                    LaneState::Fallback
+                } else {
+                    LaneState::Ready(session.feature_history().to_vec())
+                }
+            }));
+            let state = state.unwrap_or_else(|_| {
+                sessions.remove(&ue);
+                metrics.quarantined.fetch_add(1, Ordering::Relaxed);
+                LaneState::Quarantined
+            });
+            lanes.push(Lane {
+                ue,
+                pass_id,
+                t,
+                measured,
+                enqueued,
+                state,
+            });
+        }
+
+        // Phase 2: one model fetch and at most one batched decode for the
+        // whole dispatch.
+        let model = registry.current();
+        let ready: Vec<usize> = lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| matches!(l.state, LaneState::Ready(_)).then_some(i))
+            .collect();
+        let mut horizons: Vec<Option<Vec<f64>>> = vec![None; lanes.len()];
+        let mut no_sequence_form = false;
+        if !ready.is_empty() {
+            let histories: Vec<&[Vec<f64>]> = ready
+                .iter()
+                .map(|&i| match &lanes[i].state {
+                    LaneState::Ready(h) => h.as_slice(),
+                    _ => unreachable!("filtered to ready lanes"),
+                })
+                .collect();
+            let started = ctx.predict_budget.map(|_| Instant::now());
+            let raw = panic::catch_unwind(AssertUnwindSafe(|| {
+                model.regressor.predict_sequence_batch(&histories)
+            }));
+            match raw {
+                Ok(Some(decoded)) => {
+                    let over_budget = match (ctx.predict_budget, started) {
+                        (Some(budget), Some(started)) => started.elapsed() > budget,
+                        _ => false,
+                    };
+                    // Over budget: leave every slot None so all ready lanes
+                    // fall back (the call was shared, so is the verdict).
+                    if !over_budget {
+                        for (&slot, h) in ready.iter().zip(decoded) {
+                            horizons[slot] = Some(h);
+                        }
+                    }
+                }
+                // A hot-swapped model with no sequence form (e.g. harmonic
+                // mean): answer like a warm-up, exactly as the single-record
+                // path does for families without a single-row form.
+                Ok(None) => no_sequence_form = true,
+                Err(_) => {} // model panicked: every ready lane falls back
+            }
+        }
+
+        // Emit in dequeue order.
+        for (idx, lane) in lanes.into_iter().enumerate() {
+            let outcome = match lane.state {
+                LaneState::Quarantined => StepOutcome {
+                    predicted: None,
+                    degraded: true,
+                    fallback: false,
+                    horizon: None,
+                    model_version: model.version,
+                },
+                LaneState::Warmup => StepOutcome {
+                    predicted: None,
+                    degraded: false,
+                    fallback: false,
+                    horizon: None,
+                    model_version: model.version,
+                },
+                LaneState::Fallback => {
+                    let (predicted, degraded) = fallback_by_ue(&sessions, lane.ue);
+                    StepOutcome {
+                        predicted,
+                        degraded,
+                        fallback: true,
+                        horizon: None,
+                        model_version: model.version,
+                    }
+                }
+                LaneState::Ready(_) => match horizons[idx].take() {
+                    Some(h) if !h.is_empty() && h.iter().all(|v| v.is_finite()) => StepOutcome {
+                        predicted: Some(h[0]),
+                        degraded: false,
+                        fallback: false,
+                        horizon: Some(h),
+                        model_version: model.version,
+                    },
+                    None if no_sequence_form => StepOutcome {
+                        predicted: None,
+                        degraded: false,
+                        fallback: false,
+                        horizon: None,
+                        model_version: model.version,
+                    },
+                    // Failed/over-budget batch call, or an empty or
+                    // non-finite horizon for this lane.
+                    _ => {
+                        let (predicted, degraded) = fallback_by_ue(&sessions, lane.ue);
+                        StepOutcome {
+                            predicted,
+                            degraded,
+                            fallback: true,
+                            horizon: None,
+                            model_version: model.version,
+                        }
+                    }
+                },
+            };
+            if let Some(y) = outcome.predicted {
+                if let Some(session) = sessions.get_mut(&lane.ue) {
+                    session.pending = Some(PendingPrediction {
+                        pass_id: lane.pass_id,
+                        t: lane.t,
+                        predicted_mbps: y,
+                    });
+                }
+                metrics.predictions.fetch_add(1, Ordering::Relaxed);
+            } else if !outcome.degraded {
+                metrics.warmups.fetch_add(1, Ordering::Relaxed);
+            }
+            if outcome.fallback {
+                metrics.fallbacks.fetch_add(1, Ordering::Relaxed);
+            }
+            let latency_ns = lane.enqueued.elapsed().as_nanos() as u64;
+            metrics.latency.record(latency_ns);
+            let _ = out.send(Prediction {
+                ue: lane.ue,
+                pass_id: lane.pass_id,
+                t: lane.t,
+                shard,
+                model_version: outcome.model_version,
+                predicted_mbps: outcome.predicted,
+                measured_mbps: lane.measured,
+                latency_ns,
+                horizon_mbps: outcome.horizon,
+                degraded: outcome.degraded,
+            });
+        }
+        if let Some((ue, pass_id, t)) = pending_kill {
+            // Injected *after* the batch is answered, so supervision is
+            // exercised without violating one-response-per-accepted-record.
+            // A carried record was already dequeued and would be lost with
+            // this worker: loop once more to answer it (alone), then die.
+            if carry.is_none() {
+                panic!(
+                    "chaos: injected worker kill on shard {shard} (ue {ue} pass {pass_id} t {t})"
+                );
+            }
         }
     }
 }
@@ -361,6 +686,53 @@ mod tests {
         // Responses for one UE arrive in ingest order.
         let ts: Vec<u32> = responses.iter().map(|p| p.t).collect();
         assert_eq!(ts, (0..10).collect::<Vec<_>>());
+    }
+
+    /// Sequence mode with a model that has no sequence form: ready lanes
+    /// answer like warm-ups, and the batched drain still produces exactly
+    /// one in-order response per record and UE.
+    #[test]
+    fn sequence_mode_answers_every_record_for_formless_models() {
+        let mut ctx = ShardContext::new(FeatureSpec::new(FeatureSet::LM));
+        ctx.seq = Some(SequenceServing {
+            input_len: 3,
+            batch: 4,
+        });
+        let metrics = Arc::new(ShardMetrics::new());
+        let (tx, rx) = channel::bounded(64);
+        let (out_tx, out_rx) = channel::unbounded();
+        let m = metrics.clone();
+        let registry = harmonic_registry();
+        let worker = std::thread::spawn(move || run_shard(0, ctx, registry, rx, out_tx, m));
+        // Two interleaved UEs so batches mix lanes and exercise the
+        // one-record-per-UE carry rule.
+        for t in 0..10 {
+            for ue in [3u64, 8u64] {
+                tx.send(Ingest {
+                    ue,
+                    record: rec(ue as u32, t, 100.0),
+                    enqueued: Instant::now(),
+                })
+                .unwrap();
+            }
+        }
+        drop(tx);
+        worker.join().unwrap();
+        let responses: Vec<Prediction> = out_rx.iter().collect();
+        assert_eq!(responses.len(), 20);
+        assert!(responses.iter().all(|p| p.predicted_mbps.is_none()));
+        assert!(responses.iter().all(|p| p.horizon_mbps.is_none()));
+        assert!(responses.iter().all(|p| !p.degraded));
+        assert_eq!(metrics.warmups.load(Ordering::Relaxed), 20);
+        assert_eq!(metrics.processed.load(Ordering::Relaxed), 20);
+        for ue in [3u64, 8u64] {
+            let ts: Vec<u32> = responses
+                .iter()
+                .filter(|p| p.ue == ue)
+                .map(|p| p.t)
+                .collect();
+            assert_eq!(ts, (0..10).collect::<Vec<_>>(), "ue {ue} out of order");
+        }
     }
 
     /// Dropping the output receiver mid-run must flip the worker into

@@ -82,6 +82,20 @@ fn run_chaos(
                 p.degraded
             );
         }
+        if let Some(h) = &p.horizon_mbps {
+            assert!(
+                h.iter().all(|v| v.is_finite()),
+                "non-finite horizon {h:?} at ue={} pass={} t={}",
+                p.ue,
+                p.pass_id,
+                p.t
+            );
+            assert_eq!(
+                p.predicted_mbps.map(f64::to_bits),
+                h.first().map(|v| v.to_bits()),
+                "horizon[0] must be the served prediction"
+            );
+        }
     }
     let mut keys: Vec<ResponseKey> = responses
         .iter()
@@ -168,6 +182,59 @@ fn chaos_replay_answers_every_accepted_record_deterministically() {
         keys_a, keys_b,
         "same-seed chaos runs must match bit-for-bit"
     );
+}
+
+/// Sequence serving under chaos: the batched decoder path must uphold the
+/// same liveness contract as the single-row path — exactly one finite
+/// response per accepted record, every fault class survived. Response bits
+/// are NOT compared across runs here: batch composition depends on queue
+/// timing, so a worker kill can land after a different number of emitted
+/// lanes run-to-run; the fault-free bit-exactness invariant is covered by
+/// the `serving` test instead.
+#[test]
+fn seq2seq_chaos_replay_answers_every_accepted_record() {
+    let data = chaos_data(29);
+    let mut p = lumos5g::quick_seq2seq();
+    p.epochs = 2;
+    let model = Lumos5G::new(FeatureSet::LM, ModelKind::Seq2Seq(p))
+        .fit_regression(&data)
+        .unwrap();
+    let mut plan = FaultPlan::seeded(0x5E42);
+    plan.predict_panic_bp = 200;
+    plan.predict_nan_bp = 200;
+    plan.predict_slow_bp = 100;
+    plan.poison_bp = 100;
+    plan.kill_bp = 80;
+    plan.corrupt_bp = 200;
+    let plan = Arc::new(plan);
+    let src = ReplaySource::from_dataset(&data, 8).corrupted(&plan);
+
+    let (ra, accepted, rejected, keys) = run_chaos(model, &src, Some(plan), 3);
+
+    // Exactly one (finite — asserted inside run_chaos) response per
+    // accepted record, none lost to a quarantine, kill or batch boundary.
+    assert_eq!(keys.len() as u64, accepted, "responses != accepted records");
+    assert_eq!(ra.processed, accepted);
+    assert_eq!(ra.rejected, rejected);
+    assert_eq!(ra.shed, 0);
+    assert_eq!(ra.shed_stale, 0);
+
+    // Every fault class fired and was survived.
+    assert!(rejected > 0, "source corruption never tripped admission");
+    assert!(ra.quarantined > 0, "no poison record was quarantined");
+    assert!(
+        ra.fallbacks > 0,
+        "no model fault reached the fallback chain"
+    );
+    assert!(ra.panicked > 0, "no worker was ever killed");
+    assert_eq!(ra.restarted, ra.panicked, "every dead worker is respawned");
+    assert!(keys.iter().any(|k| k.4), "no degraded response was served");
+
+    // Counter accounting holds on the batched path too: each processed
+    // record is exactly one of predicted / warm-up / quarantined.
+    let warmups: u64 = ra.shards.iter().map(|s| s.warmups).sum();
+    assert_eq!(ra.predictions + warmups + ra.quarantined, ra.processed);
+    assert!(ra.mae_mbps.is_some_and(f64::is_finite));
 }
 
 #[test]

@@ -31,9 +31,13 @@ fn engine_cfg() -> EngineConfig {
     }
 }
 
+/// One replayed response: `(ue, pass, t, prediction bits, horizon bits)`.
+/// The horizon entry is `None` for single-row families and warm-ups.
+type ReplayKey = (u64, u32, u32, Option<u64>, Option<Vec<u64>>);
+
 /// Replay `src` through an engine built from `registry`; predictions keyed
 /// by (ue, pass, t) so runs with different shard interleavings compare.
-fn replay(registry: Arc<ModelRegistry>, src: &ReplaySource) -> Vec<(u64, u32, u32, Option<u64>)> {
+fn replay(registry: Arc<ModelRegistry>, src: &ReplaySource) -> Vec<ReplayKey> {
     let engine = Engine::start_with_registry(registry, engine_cfg());
     let stats = src.run(&engine, 0.0);
     assert_eq!(stats.shed, 0);
@@ -41,7 +45,17 @@ fn replay(registry: Arc<ModelRegistry>, src: &ReplaySource) -> Vec<(u64, u32, u3
     assert_eq!(report.processed, stats.submitted);
     let mut out: Vec<_> = responses
         .iter()
-        .map(|p| (p.ue, p.pass_id, p.t, p.predicted_mbps.map(f64::to_bits)))
+        .map(|p| {
+            (
+                p.ue,
+                p.pass_id,
+                p.t,
+                p.predicted_mbps.map(f64::to_bits),
+                p.horizon_mbps
+                    .as_ref()
+                    .map(|h| h.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()),
+            )
+        })
         .collect();
     out.sort_unstable();
     out
@@ -92,6 +106,47 @@ fn cold_start_serves_bit_identical_predictions_for_every_family() {
         }
         std::fs::remove_dir_all(&dir).ok();
     }
+}
+
+/// The `.l5gm` gap this PR closes: a Seq2Seq engine must cold-start from
+/// disk with zero retraining and serve the full k-step horizon with the
+/// exact bits of the warm engine — config, LSTM weights, head and both
+/// scalers all survive the raw-bit round trip.
+#[test]
+fn seq2seq_cold_start_serves_bit_identical_horizons() {
+    let data = serving_data(79);
+    let src = ReplaySource::from_dataset(&data, 5);
+    let mut p = lumos5g::quick_seq2seq();
+    p.epochs = 3;
+    let model = Lumos5G::new(FeatureSet::LM, ModelKind::Seq2Seq(p))
+        .fit_regression(&data)
+        .unwrap();
+
+    let warm = Arc::new(ModelRegistry::new(model));
+    let dir = temp_dir("seq2seq");
+    std::fs::remove_dir_all(&dir).ok();
+    warm.store(&dir).unwrap();
+    let warm_preds = replay(warm, &src);
+
+    let cold = Arc::new(ModelRegistry::load_dir(&dir).unwrap());
+    assert_eq!(cold.version(), 1, "saved version must survive");
+    assert!(
+        matches!(*cold.current().regressor, TrainedRegressor::Seq2Seq { .. }),
+        "family must survive the round trip"
+    );
+    let cold_preds = replay(cold, &src);
+
+    // The cold engine must detect sequence mode from the restored model
+    // (seq2seq_params survived) and actually serve horizons.
+    assert!(
+        cold_preds.iter().any(|k| k.4.is_some()),
+        "cold-started engine served no horizons"
+    );
+    assert_eq!(warm_preds.len(), cold_preds.len());
+    for (w, c) in warm_preds.iter().zip(&cold_preds) {
+        assert_eq!(w, c, "cold-start sequence prediction diverged");
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

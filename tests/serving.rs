@@ -45,6 +45,135 @@ fn run_replay(model: TrainedRegressor, src: &ReplaySource) -> Vec<Prediction> {
     responses.iter().collect()
 }
 
+/// One sequence response: `(ue, pass, t)` → horizon bits (`None` = warm-up).
+type HorizonKey = ((u64, u32, u32), Option<Vec<u64>>);
+
+fn seq2seq_lm(data: &Dataset, seed: u64) -> TrainedRegressor {
+    let mut p = lumos5g::quick_seq2seq();
+    p.seed = seed;
+    p.epochs = 3;
+    Lumos5G::new(FeatureSet::LM, ModelKind::Seq2Seq(p))
+        .fit_regression(data)
+        .unwrap()
+}
+
+#[test]
+fn sequence_serving_bit_matches_offline_and_any_shard_or_batch_count() {
+    let data = serving_data(83);
+    let model = seq2seq_lm(&data, 0);
+    let params = *model.seq2seq_params().unwrap();
+    let spec = *model.spec().unwrap();
+    let required = spec.required_window();
+    let src = ReplaySource::from_dataset(&data, 6);
+
+    // Offline reference: replay each UE's stream through the same sliding
+    // windows a Session maintains — record window for extraction, feature
+    // history for the encoder, both reset at any discontinuity — and call
+    // the offline predictor directly once the history fills.
+    let mut windows: HashMap<u64, Vec<lumos5g_sim::Record>> = HashMap::new();
+    let mut hists: HashMap<u64, Vec<Vec<f64>>> = HashMap::new();
+    let mut expected: HashMap<(u64, u32, u32), Option<Vec<u64>>> = HashMap::new();
+    for (ue, r) in src.events() {
+        let w = windows.entry(*ue).or_default();
+        let h = hists.entry(*ue).or_default();
+        let contiguous = w
+            .last()
+            .is_none_or(|p| p.pass_id == r.pass_id && p.t.checked_add(1) == Some(r.t));
+        if !contiguous {
+            w.clear();
+            h.clear();
+        }
+        if w.len() == required {
+            w.remove(0);
+        }
+        w.push(r.clone());
+        if let Some(x) = spec.extract_latest(w) {
+            if h.len() == params.input_len {
+                h.remove(0);
+            }
+            h.push(x);
+        }
+        let horizon = if h.len() >= params.input_len {
+            let y = model.predict_sequence_checked(h).unwrap();
+            assert_eq!(y.len(), params.horizon);
+            Some(y.iter().map(|v| v.to_bits()).collect::<Vec<u64>>())
+        } else {
+            None
+        };
+        expected.insert((*ue, r.pass_id, r.t), horizon);
+    }
+    assert!(
+        expected.values().any(Option::is_some),
+        "reference replay produced no full histories"
+    );
+
+    // Online: the same stream through every shard count and decode batch
+    // must reproduce the offline horizons bit-for-bit — batching and
+    // sharding reorder work, never floating-point operations.
+    let mut baseline: Option<Vec<HorizonKey>> = None;
+    for (shards, decode_batch) in [(1usize, 8usize), (2, 8), (4, 8), (4, 1)] {
+        let engine = Engine::start(
+            model.clone(),
+            EngineConfig {
+                shards,
+                queue_capacity: 256,
+                policy: OverloadPolicy::Block,
+                decode_batch,
+                ..Default::default()
+            },
+        );
+        let stats = src.run(&engine, 0.0);
+        assert_eq!(stats.shed, 0);
+        let (report, responses) = engine.shutdown();
+        let responses: Vec<Prediction> = responses.iter().collect();
+        assert_eq!(report.processed, stats.submitted);
+        assert_eq!(responses.len() as u64, stats.submitted);
+
+        for p in &responses {
+            assert!(!p.degraded, "fault-free sequence serving degraded");
+            let got = p
+                .horizon_mbps
+                .as_ref()
+                .map(|h| h.iter().map(|v| v.to_bits()).collect::<Vec<u64>>());
+            let want = expected
+                .get(&(p.ue, p.pass_id, p.t))
+                .unwrap_or_else(|| panic!("unexpected response key ue={} t={}", p.ue, p.t));
+            assert_eq!(
+                &got, want,
+                "horizon mismatch at ue={} pass={} t={} (shards={shards} batch={decode_batch})",
+                p.ue, p.pass_id, p.t
+            );
+            // The scalar response is the first step of the horizon.
+            assert_eq!(
+                p.predicted_mbps.map(f64::to_bits),
+                p.horizon_mbps
+                    .as_ref()
+                    .and_then(|h| h.first())
+                    .map(|v| v.to_bits())
+            );
+        }
+
+        let mut keyed: Vec<_> = responses
+            .into_iter()
+            .map(|p| {
+                (
+                    (p.ue, p.pass_id, p.t),
+                    p.horizon_mbps
+                        .map(|h| h.iter().map(|v| v.to_bits()).collect::<Vec<u64>>()),
+                )
+            })
+            .collect();
+        keyed.sort_unstable();
+        match &baseline {
+            None => baseline = Some(keyed),
+            Some(b) => assert_eq!(
+                b, &keyed,
+                "shards={shards} batch={decode_batch} diverged from baseline"
+            ),
+        }
+    }
+}
+
 #[test]
 fn serving_is_deterministic_under_fixed_seed() {
     let data = serving_data(31);
