@@ -11,8 +11,16 @@
 //! `--save-models DIR` persists each experiment's fitted GDBT model as
 //! `DIR/{experiment_key}.l5gm`; a later run with `--load-models DIR` skips
 //! those fits and produces bit-identical outputs from the saved models.
+//!
+//! `--checkpoint-every N` makes every GDBT / Seq2Seq fit write its full
+//! training state atomically to `--ckpt-dir` (default
+//! `results/checkpoints`) every N boosting rounds / epochs; after a crash,
+//! rerunning with `--resume` picks training up from the last durable
+//! checkpoint and produces bit-identical models. `--die-after-checkpoints
+//! N` aborts the process (exit 137, like a SIGKILL) right after the Nth
+//! checkpoint write, for crash-recovery testing.
 
-use lumos5g_bench::experiments::context::{Context, ModelStore, Scale};
+use lumos5g_bench::experiments::context::{CheckpointPlan, Context, ModelStore, Scale};
 use lumos5g_bench::experiments::{ablate, impact, mlres};
 use std::path::PathBuf;
 
@@ -127,7 +135,9 @@ const EXPERIMENTS: &[(&str, &str, Runner)] = &[
 fn usage() -> ! {
     eprintln!(
         "usage: repro <experiment|all|list> [--scale quick|std|paper] [--seed N] \
-         [--save-models DIR] [--load-models DIR]\n"
+         [--save-models DIR] [--load-models DIR] \
+         [--checkpoint-every N] [--ckpt-dir DIR] [--resume] \
+         [--die-after-checkpoints N]\n"
     );
     eprintln!("experiments:");
     for (name, desc, _) in EXPERIMENTS {
@@ -145,6 +155,10 @@ fn main() {
     let mut seed = 42u64;
     let mut save_models: Option<PathBuf> = None;
     let mut load_models: Option<PathBuf> = None;
+    let mut checkpoint_every = 0usize;
+    let mut ckpt_dir = PathBuf::from("results/checkpoints");
+    let mut resume = false;
+    let mut die_after: Option<u64> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -171,6 +185,26 @@ fn main() {
                 i += 1;
                 load_models = Some(args.get(i).map(PathBuf::from).unwrap_or_else(|| usage()));
             }
+            "--checkpoint-every" => {
+                i += 1;
+                checkpoint_every = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--ckpt-dir" => {
+                i += 1;
+                ckpt_dir = args.get(i).map(PathBuf::from).unwrap_or_else(|| usage());
+            }
+            "--resume" => resume = true,
+            "--die-after-checkpoints" => {
+                i += 1;
+                die_after = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             other => targets.push(other.to_string()),
         }
         i += 1;
@@ -190,6 +224,14 @@ fn main() {
         (None, Some(dir)) => Some(ModelStore { dir, load: true }),
         (None, None) => None,
     };
+    if checkpoint_every > 0 || resume || die_after.is_some() {
+        ctx.checkpoints = Some(CheckpointPlan::new(
+            ckpt_dir,
+            checkpoint_every,
+            resume,
+            die_after,
+        ));
+    }
     let mut ran = 0;
     for (name, desc, runner) in EXPERIMENTS {
         if run_all || targets.iter().any(|t| t == name) {

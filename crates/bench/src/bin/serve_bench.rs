@@ -31,18 +31,29 @@
 //! fault-tolerance contract: every accepted record is answered exactly
 //! once, no response carries a non-finite prediction, and the online MAE
 //! stays finite.
+//!
+//! `--golden N` holds the last N campaign records out as a golden replay
+//! slice and installs a validation `Gatekeeper` on the engine. After the
+//! replay the bench offers the gate a NaN-emitting candidate (asserted
+//! rejected with a typed reason) and a healthy one (asserted admitted),
+//! and — when `--save-models` is also given — rolls the engine back to the
+//! prior on-disk generation. This is the gated-swap smoke used by CI.
 
-use lumos5g::{quick_gbdt, FeatureSet, Lumos5G, ModelKind, Seq2SeqParams};
+use lumos5g::{quick_gbdt, FeatureSet, FeatureSpec, Lumos5G, ModelKind, Seq2SeqParams};
 use lumos5g_bench::TableWriter;
-use lumos5g_serve::{Engine, EngineConfig, FaultPlan, ModelRegistry, OverloadPolicy, ReplaySource};
-use lumos5g_sim::{airport, quality, run_campaign, CampaignConfig};
+use lumos5g_serve::{
+    Engine, EngineConfig, FaultPlan, Gatekeeper, ModelRegistry, OverloadPolicy, ReplaySource,
+    SwapRejected,
+};
+use lumos5g_sim::{airport, quality, run_campaign, CampaignConfig, Dataset};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Instant;
 
 const USAGE: &str = "usage: serve_bench [--model gdbt|seq2seq] [--shards N] [--ues N] \
                      [--rounds N] [--seed N] [--quick] [--decode-batch N] \
-                     [--save-models DIR] [--load-models DIR] [--chaos SEED]";
+                     [--save-models DIR] [--load-models DIR] [--chaos SEED] \
+                     [--golden N]";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum ModelChoice {
@@ -70,6 +81,7 @@ struct Args {
     save_models: Option<PathBuf>,
     load_models: Option<PathBuf>,
     chaos: Option<u64>,
+    golden: usize,
 }
 
 fn parse_args() -> Args {
@@ -84,6 +96,7 @@ fn parse_args() -> Args {
         save_models: None,
         load_models: None,
         chaos: None,
+        golden: 0,
     };
     fn numeric(argv: &[String], i: usize, name: &str) -> u64 {
         argv.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -148,6 +161,10 @@ fn parse_args() -> Args {
                 i += 1;
                 args.chaos = Some(numeric(&argv, i, "--chaos"));
             }
+            "--golden" => {
+                i += 1;
+                args.golden = numeric(&argv, i, "--golden") as usize;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 eprintln!("{USAGE}");
@@ -178,6 +195,8 @@ fn bench_seq2seq(seed: u64, quick: bool) -> Seq2SeqParams {
         lr: 3e-3,
         stride: if quick { 2 } else { 4 },
         seed,
+        val_fraction: 0.0,
+        patience: 0,
     }
 }
 
@@ -267,6 +286,18 @@ fn main() {
         },
         plan.clone(),
     );
+    // Validation gate: the last `--golden` records become the replay slice
+    // every swap candidate must survive. Tolerance 1.25 allows a candidate
+    // up to 25 % worse than the incumbent on the golden MAE.
+    const GOLDEN_TOLERANCE: f64 = 1.25;
+    if args.golden > 0 {
+        let n = args.golden.min(data.len());
+        let slice = Dataset::new(data.records[data.len() - n..].to_vec());
+        engine.install_gatekeeper(Gatekeeper::new(slice, GOLDEN_TOLERANCE));
+        eprintln!(
+            "gatekeeper installed: {n}-record golden slice, tolerance {GOLDEN_TOLERANCE:.2}x"
+        );
+    }
     // Closed loop: drain responses concurrently so the engine never stalls
     // on its (unbounded) output. The consumer also audits the sequence
     // contract: every served horizon is finite and starts at the response's
@@ -298,6 +329,52 @@ fn main() {
         accepted += stats.accepted;
         rejected += stats.rejected;
     }
+
+    // Gated-swap smoke: offer the gate a NaN-emitting candidate — built
+    // below the validating training API, the way a buggy retraining
+    // pipeline would produce one — and assert the typed rejection; then
+    // re-offer the serving model itself and assert admission. With
+    // `--save-models` the admitted generation is persisted and the engine
+    // rolled back to its on-disk predecessor.
+    if args.golden > 0 {
+        let nan_candidate = lumos5g::TrainedRegressor::Gdbt {
+            model: lumos5g_ml::GbdtRegressor::fit(
+                &vec![vec![1000.0, 2000.0]; 20],
+                &[f64::NAN; 20],
+                &quick_gbdt(),
+            ),
+            spec: FeatureSpec::new(FeatureSet::L),
+        };
+        match engine.guarded_swap(nan_candidate) {
+            Err(SwapRejected::NonFinite) => {
+                eprintln!(
+                    "gate refused the NaN candidate ({})",
+                    SwapRejected::NonFinite
+                )
+            }
+            other => panic!("NaN candidate must be refused as NonFinite, got {other:?}"),
+        }
+        let healthy = registry.current().regressor.as_ref().clone();
+        let admitted = engine
+            .guarded_swap(healthy)
+            .expect("healthy candidate passes its own golden replay");
+        eprintln!("gate admitted the healthy candidate as v{admitted}");
+        if let Some(save_dir) = &args.save_models {
+            let path = registry
+                .store(save_dir)
+                .expect("store the admitted generation");
+            eprintln!("saved admitted generation to {}", path.display());
+            let (version, generation) = engine
+                .rollback_model(save_dir)
+                .expect("roll back to the prior on-disk generation");
+            assert!(
+                generation < admitted,
+                "rollback must restore an older generation"
+            );
+            eprintln!("rolled back to generation {generation}, serving as v{version}");
+        }
+    }
+
     let (report, responses) = engine.shutdown();
     drop(responses);
     let (consumed, with_horizon) = consumer.join().unwrap();
@@ -315,6 +392,20 @@ fn main() {
     assert_eq!(report.rejected, rejected, "admission counters disagree");
     if let Some(mae) = report.mae_mbps {
         assert!(mae.is_finite(), "online MAE went non-finite: {mae}");
+    }
+    // The gate's refusals must surface typed in the engine report.
+    if args.golden > 0 {
+        assert_eq!(report.swap_rejected, 1, "exactly one candidate was refused");
+        assert_eq!(
+            report.swap_rejected_by[SwapRejected::NonFinite.index()],
+            1,
+            "the refusal is typed NonFinite"
+        );
+        eprintln!(
+            "gate report: {} refused ({} non-finite)",
+            report.swap_rejected,
+            report.swap_rejected_by[SwapRejected::NonFinite.index()]
+        );
     }
     // Fault-free sequence serving must actually produce horizons (warm-ups
     // aside) — a silently formless model would otherwise pass every count.

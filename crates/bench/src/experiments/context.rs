@@ -3,15 +3,16 @@
 
 use lumos5g::eval::{eval_both, ClassificationOutcome, RegressionOutcome};
 use lumos5g::features::{FeatureSet, FeatureSpec};
-use lumos5g::persist;
+use lumos5g::persist::{self, TrainingCheckpoint};
 use lumos5g::predictor::{ModelKind, Seq2SeqParams, TrainedRegressor};
-use lumos5g_ml::{GbdtConfig, GbdtRegressor};
+use lumos5g_ml::{GbdtConfig, GbdtRegressor, Seq2Seq};
 use lumos5g_sim::{
     airport, intersection, loop_area, quality, run_campaign, Area, CampaignConfig, Dataset,
     MobilityMode,
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Experiment scale: trades fidelity for wall-clock time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,17 +81,23 @@ impl Scale {
                 lr: 5e-3,
                 stride: 4,
                 seed: 0,
+                val_fraction: 0.0,
+                patience: 0,
             },
+            // Std trains longer than before (the 10-epoch budget underfit);
+            // the validation gate stops it once held-out loss stalls.
             Scale::Std => Seq2SeqParams {
                 input_len: 10,
                 horizon: 5,
                 hidden: 24,
                 layers: 2,
-                epochs: 10,
+                epochs: 30,
                 batch_size: 64,
                 lr: 5e-3,
                 stride: 4,
                 seed: 0,
+                val_fraction: 0.2,
+                patience: 3,
             },
             Scale::Paper => Seq2SeqParams {
                 input_len: 20,
@@ -102,6 +109,8 @@ impl Scale {
                 lr: 1e-3,
                 stride: 1,
                 seed: 0,
+                val_fraction: 0.1,
+                patience: 20,
             },
         }
     }
@@ -117,6 +126,55 @@ pub struct ModelStore {
     pub load: bool,
 }
 
+/// Crash-safe training checkpoints (`repro --checkpoint-every N`): every
+/// experiment that trains a GDBT or Seq2Seq model writes its full training
+/// state to `dir/{key}.ckpt.l5gm` through the atomic persist writer every
+/// `every` rounds/epochs; a later run with `resume` picks the training up
+/// from the last durable checkpoint and converges bit-identically to an
+/// uninterrupted run.
+#[derive(Debug)]
+pub struct CheckpointPlan {
+    /// Directory holding `{key}.ckpt.l5gm` files.
+    pub dir: PathBuf,
+    /// Checkpoint cadence in boosting rounds / training epochs (0 = never
+    /// write, which still allows `resume`).
+    pub every: usize,
+    /// `true` → restore matching checkpoints before training.
+    pub resume: bool,
+    /// Crash injection: abort the process (exit 137, as SIGKILL would)
+    /// right after the Nth checkpoint write. Used by the crash-resume CI
+    /// smoke; `None` in normal operation.
+    pub die_after: Option<u64>,
+    written: AtomicU64,
+}
+
+impl CheckpointPlan {
+    /// A plan writing every `every` units under `dir`.
+    pub fn new(dir: PathBuf, every: usize, resume: bool, die_after: Option<u64>) -> Self {
+        CheckpointPlan {
+            dir,
+            every,
+            resume,
+            die_after,
+            written: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one durable checkpoint write; honours `die_after` by exiting
+    /// with status 137 (the wait status a SIGKILL produces) so crash tests
+    /// can interrupt training at an exact, reproducible point.
+    fn note_write(&self, key: &str, rounds: usize) {
+        let n = self.written.fetch_add(1, Ordering::SeqCst) + 1;
+        eprintln!("    checkpointed {key} at {rounds} units (write #{n})");
+        if let Some(limit) = self.die_after {
+            if n >= limit {
+                eprintln!("    --die-after-checkpoints {limit} reached: simulating SIGKILL");
+                std::process::exit(137);
+            }
+        }
+    }
+}
+
 /// Lazily built simulation datasets shared across experiments.
 pub struct Context {
     /// Chosen scale.
@@ -125,6 +183,9 @@ pub struct Context {
     pub seed: u64,
     /// Optional model persistence (None → always fit in memory).
     pub models: Option<ModelStore>,
+    /// Optional crash-safe training checkpoints (None → train straight
+    /// through).
+    pub checkpoints: Option<CheckpointPlan>,
     areas: Option<(Area, Area, Area)>,
     intersection_walk: Option<Dataset>,
     airport_walk: Option<Dataset>,
@@ -141,6 +202,7 @@ impl Context {
             scale,
             seed,
             models: None,
+            checkpoints: None,
             areas: None,
             intersection_walk: None,
             airport_walk: None,
@@ -165,7 +227,7 @@ impl Context {
         ys: &[f64],
     ) -> GbdtRegressor {
         let Some(store) = &self.models else {
-            return GbdtRegressor::fit(xs, ys, cfg);
+            return self.fit_gbdt(key, cfg, xs, ys);
         };
         let path = store.dir.join(format!("{key}.l5gm"));
         if store.load {
@@ -178,7 +240,7 @@ impl Context {
                 Err(e) => eprintln!("    cannot load {}: {e}; refitting", path.display()),
             }
         }
-        let model = GbdtRegressor::fit(xs, ys, cfg);
+        let model = self.fit_gbdt(key, cfg, xs, ys);
         if !store.load {
             let wrapped = TrainedRegressor::Gdbt {
                 model: model.clone(),
@@ -190,6 +252,137 @@ impl Context {
             }
         }
         model
+    }
+
+    /// Fit a GDBT under the checkpoint plan (when one is configured):
+    /// resume from `{key}.ckpt.l5gm` if asked, then checkpoint the boosting
+    /// state atomically every `every` rounds. Interrupting anywhere and
+    /// re-running with `resume` converges bit-identically to an
+    /// uninterrupted fit.
+    fn fit_gbdt(&self, key: &str, cfg: &GbdtConfig, xs: &[Vec<f64>], ys: &[f64]) -> GbdtRegressor {
+        let Some(plan) = &self.checkpoints else {
+            return GbdtRegressor::fit(xs, ys, cfg);
+        };
+        let path = plan.dir.join(format!("{key}.ckpt.l5gm"));
+        let resume = if plan.resume {
+            match persist::load_checkpoint(&path) {
+                Ok(TrainingCheckpoint::Gdbt(ck)) if ck.cfg == *cfg && ck.n_rows == xs.len() => {
+                    eprintln!(
+                        "    resuming {key} from {} ({} rounds done)",
+                        path.display(),
+                        ck.rounds_done
+                    );
+                    Some(ck)
+                }
+                Ok(TrainingCheckpoint::Gdbt(_)) => {
+                    eprintln!(
+                        "    checkpoint {} is for a different run; training from scratch",
+                        path.display()
+                    );
+                    None
+                }
+                Ok(_) => {
+                    eprintln!(
+                        "    {} is not a GDBT checkpoint; training from scratch",
+                        path.display()
+                    );
+                    None
+                }
+                Err(e) => {
+                    eprintln!(
+                        "    no resumable checkpoint at {}: {e}; training from scratch",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        if plan.every > 0 {
+            std::fs::create_dir_all(&plan.dir).ok();
+        }
+        GbdtRegressor::fit_resumable(xs, ys, cfg, resume, plan.every, |ck| {
+            match persist::save_checkpoint(&TrainingCheckpoint::Gdbt(ck.clone()), &path) {
+                Ok(()) => plan.note_write(key, ck.rounds_done),
+                Err(e) => eprintln!("    cannot checkpoint {}: {e}", path.display()),
+            }
+        })
+    }
+
+    /// Train a Seq2Seq model under the checkpoint plan (when one is
+    /// configured), mirroring [`Self::fit_gbdt`]: epoch state — weights,
+    /// Adam moments, best-validation snapshot — checkpoints atomically to
+    /// `{key}.ckpt.l5gm` every `every` epochs, and `resume` restores it.
+    /// Returns the per-epoch training losses.
+    pub fn train_seq2seq(
+        &self,
+        key: &str,
+        model: &mut Seq2Seq,
+        inputs: &[Vec<Vec<f64>>],
+        targets: &[Vec<f64>],
+        val_fraction: f64,
+        patience: usize,
+    ) -> Vec<f64> {
+        let Some(plan) = &self.checkpoints else {
+            return model.train_resumable(inputs, targets, val_fraction, patience, None, 0, |_| {});
+        };
+        let path = plan.dir.join(format!("{key}.ckpt.l5gm"));
+        let resume = if plan.resume {
+            match persist::load_checkpoint(&path) {
+                Ok(TrainingCheckpoint::Seq2Seq(st))
+                    if st.resumes(model, inputs.len(), val_fraction, patience) =>
+                {
+                    eprintln!(
+                        "    resuming {key} from {} ({} epochs done)",
+                        path.display(),
+                        st.epochs_done()
+                    );
+                    Some(*st)
+                }
+                Ok(TrainingCheckpoint::Seq2Seq(_)) => {
+                    eprintln!(
+                        "    checkpoint {} is for a different run; training from scratch",
+                        path.display()
+                    );
+                    None
+                }
+                Ok(_) => {
+                    eprintln!(
+                        "    {} is not a Seq2Seq checkpoint; training from scratch",
+                        path.display()
+                    );
+                    None
+                }
+                Err(e) => {
+                    eprintln!(
+                        "    no resumable checkpoint at {}: {e}; training from scratch",
+                        path.display()
+                    );
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        if plan.every > 0 {
+            std::fs::create_dir_all(&plan.dir).ok();
+        }
+        model.train_resumable(
+            inputs,
+            targets,
+            val_fraction,
+            patience,
+            resume,
+            plan.every,
+            |st| match persist::save_checkpoint(
+                &TrainingCheckpoint::Seq2Seq(Box::new(st.clone())),
+                &path,
+            ) {
+                Ok(()) => plan.note_write(key, st.epochs_done()),
+                Err(e) => eprintln!("    cannot checkpoint {}: {e}", path.display()),
+            },
+        )
     }
 
     /// Run (or fetch from cache) the regression + classification evaluation

@@ -622,7 +622,14 @@ pub fn horizon(ctx: &mut Context) -> String {
         clip_norm: 5.0,
         seed: p.seed,
     });
-    model.train(&tin, &ttg);
+    ctx.train_seq2seq(
+        "horizon_s2s",
+        &mut model,
+        &tin,
+        &ttg,
+        p.val_fraction,
+        p.patience,
+    );
 
     let mut abs_err = vec![0.0f64; p.horizon];
     let mut n = 0usize;

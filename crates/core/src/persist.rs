@@ -14,45 +14,58 @@
 //! ```text
 //! offset  size  field
 //!      0     4  magic  "L5GM"
-//!      4     2  format version (u16 LE, currently 1)
-//!      6     1  kind     (0 = regressor, 1 = classifier)
+//!      4     2  format version (u16 LE, currently 2; v1 still readable)
+//!      6     1  kind     (0 = regressor, 1 = classifier, 2 = training
+//!                         checkpoint)
 //!      7     1  family   (regressor: 1 GDBT, 2 RF, 3 KNN, 4 Harmonic,
-//!                         6 Seq2Seq;
+//!                         6 Seq2Seq, 7 Kriging;
 //!                         classifier: 1 GDBT, 2 RF, 3 KNN, 5 FromRegression)
 //!      8     1  spec presence (0 = none, 1 = FeatureSpec follows)
 //!      9     …  FeatureSpec  (set tag u8, history_window u32) when present
 //!      …     …  family payload (model-defined, see `lumos5g-ml::codec`)
+//!   last     4  CRC32 (IEEE, LE) of every preceding byte — v2 only
 //! ```
 //!
 //! Versioning policy: the format version is bumped on any incompatible
 //! layout change; loaders reject unknown versions and unknown family tags
-//! with a typed error rather than guessing. Trailing bytes after the
-//! payload are treated as corruption.
+//! with a typed error rather than guessing. Writers always emit v2; v1
+//! files (no checksum, no Kriging/checkpoint kinds, shorter Seq2Seq
+//! params) still decode. For v2 the trailing CRC32 is verified *before*
+//! any payload decoding, so a torn or bit-flipped file surfaces as
+//! [`PersistError::CrcMismatch`] rather than a structurally plausible but
+//! wrong model. Trailing bytes after the payload are treated as
+//! corruption.
 //!
-//! Kriging models are not (yet) persistable — saving one returns
-//! [`PersistError::UnsupportedFamily`] instead of a partial file.
+//! Saves go through [`atomic_write`]: temp file in the target directory,
+//! `fsync`, `rename` over the destination, `fsync` of the directory — a
+//! crash at any point leaves either the old file or the new one, never a
+//! torn hybrid.
 
 use crate::features::{FeatureSet, FeatureSpec};
 use crate::predictor::{Seq2SeqParams, TrainedClassifier, TrainedRegressor};
-use lumos5g_ml::codec::{ByteReader, ByteWriter, CodecError};
+use lumos5g_ml::codec::{crc32, ByteReader, ByteWriter, CodecError};
 use lumos5g_ml::dataset::TargetScaler;
 use lumos5g_ml::{
-    GbdtClassifier, GbdtRegressor, KnnClassifier, KnnRegressor, RandomForestClassifier,
-    RandomForestRegressor, Seq2Seq, StandardScaler,
+    GbdtCheckpoint, GbdtClassifier, GbdtRegressor, KnnClassifier, KnnRegressor, OrdinaryKriging,
+    RandomForestClassifier, RandomForestRegressor, Seq2Seq, Seq2SeqTrainState, StandardScaler,
 };
 use std::fmt;
 use std::io;
-use std::path::Path;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
 
 /// File magic: the first four bytes of every saved model.
 pub const MAGIC: [u8; 4] = *b"L5GM";
-/// Current wire-format version.
-pub const FORMAT_VERSION: u16 = 1;
+/// Current wire-format version (written on save).
+pub const FORMAT_VERSION: u16 = 2;
+/// Oldest wire-format version this build still reads.
+pub const MIN_FORMAT_VERSION: u16 = 1;
 /// Conventional extension for saved models.
 pub const MODEL_EXTENSION: &str = "l5gm";
 
 const KIND_REGRESSOR: u8 = 0;
 const KIND_CLASSIFIER: u8 = 1;
+const KIND_CHECKPOINT: u8 = 2;
 
 const FAM_GDBT: u8 = 1;
 const FAM_RF: u8 = 2;
@@ -60,6 +73,7 @@ const FAM_KNN: u8 = 3;
 const FAM_HARMONIC: u8 = 4;
 const FAM_FROM_REGRESSION: u8 = 5;
 const FAM_SEQ2SEQ: u8 = 6;
+const FAM_KRIGING: u8 = 7;
 
 /// Why a save or load failed.
 #[derive(Debug)]
@@ -78,9 +92,16 @@ pub enum PersistError {
         /// The kind byte found in the file.
         found: u8,
     },
-    /// The model family cannot be serialized (Kriging) or the family tag
-    /// is unknown.
+    /// The family tag is unknown (a newer build's model, or corruption).
     UnsupportedFamily(String),
+    /// The v2 trailing checksum does not match the payload — the file was
+    /// torn mid-write or bit-flipped at rest.
+    CrcMismatch {
+        /// CRC32 recomputed over the payload.
+        expected: u32,
+        /// CRC32 stored in the file's trailer.
+        found: u32,
+    },
     /// Structurally corrupt payload.
     Codec(CodecError),
 }
@@ -93,7 +114,8 @@ impl fmt::Display for PersistError {
             PersistError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported format version {v} (this build reads {FORMAT_VERSION})"
+                    "unsupported format version {v} (this build reads \
+                     {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
                 )
             }
             PersistError::WrongKind { expected, found } => {
@@ -101,6 +123,13 @@ impl fmt::Display for PersistError {
             }
             PersistError::UnsupportedFamily(fam) => {
                 write!(f, "model family {fam} has no persistent form")
+            }
+            PersistError::CrcMismatch { expected, found } => {
+                write!(
+                    f,
+                    "checksum mismatch (stored {found:#010x}, payload hashes to \
+                     {expected:#010x}): torn or corrupted file"
+                )
             }
             PersistError::Codec(e) => write!(f, "corrupt model file: {e}"),
         }
@@ -196,10 +225,13 @@ fn put_seq2seq_params(w: &mut ByteWriter, p: &Seq2SeqParams) {
     w.put_f64(p.lr);
     w.put_len(p.stride);
     w.put_u64(p.seed);
+    // v2 additions: early-stopping configuration.
+    w.put_f64(p.val_fraction);
+    w.put_len(p.patience);
 }
 
-fn get_seq2seq_params(r: &mut ByteReader<'_>) -> Result<Seq2SeqParams, PersistError> {
-    Ok(Seq2SeqParams {
+fn get_seq2seq_params(r: &mut ByteReader<'_>, version: u16) -> Result<Seq2SeqParams, PersistError> {
+    let mut p = Seq2SeqParams {
         input_len: r.len()?,
         horizon: r.len()?,
         hidden: r.len()?,
@@ -209,7 +241,15 @@ fn get_seq2seq_params(r: &mut ByteReader<'_>) -> Result<Seq2SeqParams, PersistEr
         lr: r.f64()?,
         stride: r.len()?,
         seed: r.u64()?,
-    })
+        // v1 files predate early stopping: disabled, matching old behavior.
+        val_fraction: 0.0,
+        patience: 0,
+    };
+    if version >= 2 {
+        p.val_fraction = r.f64()?;
+        p.patience = r.len()?;
+    }
+    Ok(p)
 }
 
 fn put_header(w: &mut ByteWriter, kind: u8) {
@@ -218,19 +258,71 @@ fn put_header(w: &mut ByteWriter, kind: u8) {
     w.put_u8(kind);
 }
 
-/// Checks magic + version, returns the kind byte.
-fn get_header(r: &mut ByteReader<'_>) -> Result<u8, PersistError> {
+/// Checks magic + version, returns `(version, kind byte)`.
+fn get_header(r: &mut ByteReader<'_>) -> Result<(u16, u8), PersistError> {
     if r.take(4)? != MAGIC {
         return Err(PersistError::BadMagic);
     }
     let version = r.u16()?;
-    if version != FORMAT_VERSION {
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(PersistError::UnsupportedVersion(version));
     }
-    Ok(r.u8()?)
+    Ok((version, r.u8()?))
 }
 
-/// Encode a regressor to bytes. Kriging is not persistable.
+/// Append the v2 trailer: a CRC32 of every byte written so far.
+fn seal(w: ByteWriter) -> Vec<u8> {
+    let mut bytes = w.into_bytes();
+    let crc = crc32(&bytes);
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes
+}
+
+/// Validate the container around `bytes` and return the payload slice
+/// (header included, trailer stripped for v2).
+///
+/// The version is read *before* the checksum is checked so a genuinely
+/// newer file reports [`PersistError::UnsupportedVersion`], and the
+/// checksum is checked *before* any payload decoding so corruption
+/// surfaces as [`PersistError::CrcMismatch`] rather than a garbage decode.
+fn split_container(bytes: &[u8]) -> Result<&[u8], PersistError> {
+    let mut peek = ByteReader::new(bytes);
+    if peek.take(4)? != MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = peek.u16()?;
+    if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    if version < 2 {
+        return Ok(bytes);
+    }
+    let trailer_at =
+        bytes
+            .len()
+            .checked_sub(4)
+            .ok_or(PersistError::Codec(CodecError::UnexpectedEof {
+                needed: 4,
+                remaining: bytes.len(),
+            }))?;
+    if trailer_at < 7 {
+        // Shorter than magic + version + kind: the trailer would overlap
+        // the header.
+        return Err(PersistError::Codec(CodecError::UnexpectedEof {
+            needed: 11,
+            remaining: bytes.len(),
+        }));
+    }
+    let (payload, trailer) = bytes.split_at(trailer_at);
+    let found = u32::from_le_bytes(trailer.try_into().expect("4 bytes"));
+    let expected = crc32(payload);
+    if found != expected {
+        return Err(PersistError::CrcMismatch { expected, found });
+    }
+    Ok(payload)
+}
+
+/// Encode a regressor to bytes. Every family round-trips.
 pub fn encode_regressor(model: &TrainedRegressor) -> Result<Vec<u8>, PersistError> {
     let mut w = ByteWriter::new();
     put_header(&mut w, KIND_REGRESSOR);
@@ -270,23 +362,26 @@ pub fn encode_regressor(model: &TrainedRegressor) -> Result<Vec<u8>, PersistErro
             w.put_f64(y_scaler.std);
             model.encode(&mut w);
         }
-        TrainedRegressor::Kriging { .. } => {
-            return Err(PersistError::UnsupportedFamily("Kriging".into()))
+        TrainedRegressor::Kriging { model, spec } => {
+            w.put_u8(FAM_KRIGING);
+            put_spec(&mut w, Some(spec));
+            model.encode(&mut w);
         }
     }
-    Ok(w.into_bytes())
+    Ok(seal(w))
 }
 
 /// Decode a regressor from bytes produced by [`encode_regressor`].
 pub fn decode_regressor(bytes: &[u8]) -> Result<TrainedRegressor, PersistError> {
-    let mut r = ByteReader::new(bytes);
+    let payload = split_container(bytes)?;
+    let mut r = ByteReader::new(payload);
     let model = decode_regressor_from(&mut r)?;
     r.finish().map_err(PersistError::Codec)?;
     Ok(model)
 }
 
 fn decode_regressor_from(r: &mut ByteReader<'_>) -> Result<TrainedRegressor, PersistError> {
-    let kind = get_header(r)?;
+    let (version, kind) = get_header(r)?;
     if kind != KIND_REGRESSOR {
         return Err(PersistError::WrongKind {
             expected: "regressor",
@@ -322,9 +417,13 @@ fn decode_regressor_from(r: &mut ByteReader<'_>) -> Result<TrainedRegressor, Per
             }
             TrainedRegressor::Harmonic { window }
         }
+        FAM_KRIGING => TrainedRegressor::Kriging {
+            model: OrdinaryKriging::decode(r)?,
+            spec: need_spec(spec)?,
+        },
         FAM_SEQ2SEQ => {
             let spec = need_spec(spec)?;
-            let params = get_seq2seq_params(r)?;
+            let params = get_seq2seq_params(r, version)?;
             let x_scaler = StandardScaler::decode(r)?;
             let y_scaler = TargetScaler {
                 mean: r.f64()?,
@@ -395,13 +494,14 @@ pub fn encode_classifier(model: &TrainedClassifier) -> Result<Vec<u8>, PersistEr
             w.put_bytes(&inner);
         }
     }
-    Ok(w.into_bytes())
+    Ok(seal(w))
 }
 
 /// Decode a classifier from bytes produced by [`encode_classifier`].
 pub fn decode_classifier(bytes: &[u8]) -> Result<TrainedClassifier, PersistError> {
-    let mut r = ByteReader::new(bytes);
-    let kind = get_header(&mut r)?;
+    let payload = split_container(bytes)?;
+    let mut r = ByteReader::new(payload);
+    let (_version, kind) = get_header(&mut r)?;
     if kind != KIND_CLASSIFIER {
         return Err(PersistError::WrongKind {
             expected: "classifier",
@@ -443,14 +543,117 @@ pub fn decode_classifier(bytes: &[u8]) -> Result<TrainedClassifier, PersistError
     Ok(model)
 }
 
-/// Save a regressor to `path`, creating parent directories as needed.
+/// A persisted mid-training snapshot — everything a boosting loop or an
+/// epoch loop needs to resume bit-identically after a kill.
+#[derive(Debug, Clone)]
+pub enum TrainingCheckpoint {
+    /// GDBT boosting state: config, completed rounds, trees so far.
+    Gdbt(GbdtCheckpoint),
+    /// Seq2Seq epoch state: weights, Adam moments, epochs done, best
+    /// validation snapshot. Boxed: the state dwarfs the GDBT variant.
+    Seq2Seq(Box<Seq2SeqTrainState>),
+}
+
+/// Encode a training checkpoint into the same sealed `.l5gm` container
+/// models use (kind byte 2).
+pub fn encode_checkpoint(ckpt: &TrainingCheckpoint) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    put_header(&mut w, KIND_CHECKPOINT);
+    match ckpt {
+        TrainingCheckpoint::Gdbt(state) => {
+            w.put_u8(FAM_GDBT);
+            state.encode(&mut w);
+        }
+        TrainingCheckpoint::Seq2Seq(state) => {
+            w.put_u8(FAM_SEQ2SEQ);
+            state.encode(&mut w);
+        }
+    }
+    seal(w)
+}
+
+/// Decode a training checkpoint produced by [`encode_checkpoint`].
+pub fn decode_checkpoint(bytes: &[u8]) -> Result<TrainingCheckpoint, PersistError> {
+    let payload = split_container(bytes)?;
+    let mut r = ByteReader::new(payload);
+    let (_version, kind) = get_header(&mut r)?;
+    if kind != KIND_CHECKPOINT {
+        return Err(PersistError::WrongKind {
+            expected: "training checkpoint",
+            found: kind,
+        });
+    }
+    let family = r.u8()?;
+    let ckpt = match family {
+        FAM_GDBT => TrainingCheckpoint::Gdbt(GbdtCheckpoint::decode(&mut r)?),
+        FAM_SEQ2SEQ => TrainingCheckpoint::Seq2Seq(Box::new(Seq2SeqTrainState::decode(&mut r)?)),
+        _ => {
+            return Err(PersistError::UnsupportedFamily(format!(
+                "checkpoint tag {family}"
+            )))
+        }
+    };
+    r.finish().map_err(PersistError::Codec)?;
+    Ok(ckpt)
+}
+
+/// Save a training checkpoint atomically to `path`.
+pub fn save_checkpoint(ckpt: &TrainingCheckpoint, path: &Path) -> Result<(), PersistError> {
+    atomic_write(path, &encode_checkpoint(ckpt))
+}
+
+/// Load a training checkpoint saved by [`save_checkpoint`].
+pub fn load_checkpoint(path: &Path) -> Result<TrainingCheckpoint, PersistError> {
+    decode_checkpoint(&std::fs::read(path)?)
+}
+
+/// Crash-safe file replacement: write a temp file next to `path`, fsync
+/// it, `rename` over the destination, and fsync the directory so the
+/// rename itself is durable. A kill at any instant leaves either the old
+/// content or the new content at `path` — never a torn hybrid — plus at
+/// worst an orphaned `*.tmp` file that loaders ignore.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> Result<(), PersistError> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => PathBuf::from("."),
+    };
+    std::fs::create_dir_all(&parent)?;
+    let file_name = path.file_name().ok_or_else(|| {
+        PersistError::Io(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "atomic_write target has no file name",
+        ))
+    })?;
+    let mut tmp_name = file_name.to_os_string();
+    tmp_name.push(format!(".{}.tmp", std::process::id()));
+    let tmp = parent.join(tmp_name);
+    let write = (|| -> io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        // The data must be on disk before the rename publishes it,
+        // otherwise a crash could surface a durable name with volatile
+        // content — exactly the torn state the temp file exists to avoid.
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if let Err(e) = write {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(PersistError::Io(e));
+    }
+    // Durability of the directory entry; best-effort where directories
+    // cannot be fsynced (some filesystems), correctness never depends on
+    // it — only on the data-before-rename ordering above.
+    if let Ok(dir) = std::fs::File::open(&parent) {
+        let _ = dir.sync_all();
+    }
+    Ok(())
+}
+
+/// Save a regressor atomically to `path`, creating parent directories as
+/// needed.
 pub fn save_regressor(model: &TrainedRegressor, path: &Path) -> Result<(), PersistError> {
     let bytes = encode_regressor(model)?;
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    std::fs::write(path, bytes)?;
-    Ok(())
+    atomic_write(path, &bytes)
 }
 
 /// Load a regressor saved by [`save_regressor`].
@@ -458,14 +661,11 @@ pub fn load_regressor(path: &Path) -> Result<TrainedRegressor, PersistError> {
     decode_regressor(&std::fs::read(path)?)
 }
 
-/// Save a classifier to `path`, creating parent directories as needed.
+/// Save a classifier atomically to `path`, creating parent directories as
+/// needed.
 pub fn save_classifier(model: &TrainedClassifier, path: &Path) -> Result<(), PersistError> {
     let bytes = encode_classifier(model)?;
-    if let Some(parent) = path.parent() {
-        std::fs::create_dir_all(parent)?;
-    }
-    std::fs::write(path, bytes)?;
-    Ok(())
+    atomic_write(path, &bytes)
 }
 
 /// Load a classifier saved by [`save_classifier`].
@@ -566,15 +766,24 @@ mod tests {
     }
 
     #[test]
-    fn kriging_reports_unsupported() {
+    fn kriging_round_trip_is_bit_identical() {
         let data = campaign(19);
         let kriging = Lumos5G::new(FeatureSet::L, ModelKind::Kriging { neighbors: 8 })
             .fit_regression(&data)
             .unwrap();
-        assert!(matches!(
-            encode_regressor(&kriging),
-            Err(PersistError::UnsupportedFamily(_))
-        ));
+        let bytes = encode_regressor(&kriging).unwrap();
+        let loaded = decode_regressor(&bytes).unwrap();
+        assert_eq!(loaded.spec(), kriging.spec());
+        let (_, want) = kriging.eval(&data);
+        let (_, got) = loaded.eval(&data);
+        assert_eq!(want.len(), got.len());
+        for (w, g) in want.iter().zip(&got) {
+            assert_eq!(w.to_bits(), g.to_bits());
+        }
+        // Truncations must error cleanly, never panic.
+        for cut in (0..bytes.len()).step_by(13).chain([bytes.len() - 1]) {
+            assert!(decode_regressor(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]
@@ -644,18 +853,21 @@ mod tests {
             Err(PersistError::UnsupportedVersion(999))
         ));
 
+        // Any payload byte flip — family tag included — fails the v2
+        // checksum before the decoder ever sees the bogus tag.
         let mut bad_family = bytes.clone();
         bad_family[7] = 0xEE;
         assert!(matches!(
             decode_regressor(&bad_family),
-            Err(PersistError::UnsupportedFamily(_))
+            Err(PersistError::CrcMismatch { .. })
         ));
 
+        // Appending a byte shifts the trailer window off the real CRC.
         let mut trailing = bytes.clone();
         trailing.push(0);
         assert!(matches!(
             decode_regressor(&trailing),
-            Err(PersistError::Codec(_))
+            Err(PersistError::CrcMismatch { .. })
         ));
 
         // A regressor file is not a classifier and vice versa.
@@ -663,6 +875,66 @@ mod tests {
             decode_classifier(&bytes),
             Err(PersistError::WrongKind { .. })
         ));
+    }
+
+    #[test]
+    fn every_bit_flip_is_caught_by_the_checksum() {
+        let model = TrainedRegressor::Harmonic { window: 5 };
+        let bytes = encode_regressor(&model).unwrap();
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut flipped = bytes.clone();
+                flipped[byte] ^= 1 << bit;
+                assert!(
+                    decode_regressor(&flipped).is_err(),
+                    "flip at byte {byte} bit {bit} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn v1_files_without_checksum_still_decode() {
+        // A v1 Harmonic file, exactly as the previous release wrote it:
+        // magic + version 1 + kind + family + no spec + window, no trailer.
+        let mut w = ByteWriter::new();
+        w.put_bytes(&MAGIC);
+        w.put_u16(1);
+        w.put_u8(KIND_REGRESSOR);
+        w.put_u8(FAM_HARMONIC);
+        w.put_u8(0); // no spec
+        w.put_u32(9);
+        let bytes = w.into_bytes();
+        let loaded = decode_regressor(&bytes).unwrap();
+        assert!(matches!(loaded, TrainedRegressor::Harmonic { window: 9 }));
+    }
+
+    #[test]
+    fn checkpoint_container_rejects_kind_confusion() {
+        let model = TrainedRegressor::Harmonic { window: 5 };
+        let bytes = encode_regressor(&model).unwrap();
+        assert!(matches!(
+            decode_checkpoint(&bytes),
+            Err(PersistError::WrongKind { .. })
+        ));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_survives_reread() {
+        let dir = std::env::temp_dir().join(format!("l5gm-atomic-{}", std::process::id()));
+        let path = dir.join("model.l5gm");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No temp file left behind after a successful write.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path() != path)
+            .collect();
+        assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

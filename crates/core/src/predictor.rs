@@ -41,6 +41,11 @@ pub struct Seq2SeqParams {
     pub stride: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Fraction of sequences held out for early stopping (0 disables).
+    pub val_fraction: f64,
+    /// Epochs without validation improvement before stopping (0 disables);
+    /// the best epoch's weights are restored.
+    pub patience: usize,
 }
 
 impl Default for Seq2SeqParams {
@@ -55,6 +60,8 @@ impl Default for Seq2SeqParams {
             lr: 3e-3,
             stride: 2,
             seed: 0,
+            val_fraction: 0.0,
+            patience: 0,
         }
     }
 }
@@ -110,6 +117,8 @@ pub fn quick_seq2seq() -> Seq2SeqParams {
         lr: 5e-3,
         stride: 3,
         seed: 0,
+        val_fraction: 0.0,
+        patience: 0,
     }
 }
 
@@ -181,7 +190,15 @@ impl Lumos5G {
                     clip_norm: 5.0,
                     seed: p.seed,
                 });
-                model.train(&inputs, &targets);
+                model.train_resumable(
+                    &inputs,
+                    &targets,
+                    p.val_fraction,
+                    p.patience,
+                    None,
+                    0,
+                    |_| {},
+                );
                 Ok(TrainedRegressor::Seq2Seq {
                     model: Box::new(model),
                     x_scaler,

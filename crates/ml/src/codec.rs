@@ -48,6 +48,40 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
+/// Lookup table for the reflected IEEE CRC-32 polynomial (0xEDB88320),
+/// the same checksum zlib and Ethernet use. Built at compile time so the
+/// codec stays dependency-free.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// IEEE CRC-32 of `bytes` (reflected, init/xorout `0xFFFF_FFFF` — matches
+/// zlib's `crc32`). Used by the `.l5gm` v2 container to detect torn or
+/// bit-flipped checkpoints before any payload decoding runs.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
 /// Append-only little-endian byte sink.
 #[derive(Debug, Default)]
 pub struct ByteWriter {
@@ -299,6 +333,30 @@ mod tests {
         w.put_u32(u32::MAX); // claims ~4G elements, no payload
         let bytes = w.into_bytes();
         assert!(ByteReader::new(&bytes).f64s().is_err());
+    }
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Canonical check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn crc32_detects_single_bit_flips() {
+        let payload: Vec<u8> = (0..=255u8).collect();
+        let want = crc32(&payload);
+        for byte in 0..payload.len() {
+            for bit in 0..8 {
+                let mut flipped = payload.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), want, "flip at byte {byte} bit {bit}");
+            }
+        }
     }
 
     #[test]

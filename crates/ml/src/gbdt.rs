@@ -84,6 +84,79 @@ fn subsample_idx(n: usize, frac: f64, rng: &mut StdRng) -> Vec<usize> {
     idx
 }
 
+/// Mid-boosting training snapshot — everything needed to resume a killed
+/// run and converge **bit-identically** to the uninterrupted one.
+///
+/// `StdRng` is not serializable, so the checkpoint does not store raw RNG
+/// state; instead [`GbdtRegressor::fit_resumable`] fast-forwards a fresh
+/// seeded RNG by replaying the exact `subsample_idx` draws the completed
+/// rounds consumed, which is deterministic and exact.
+#[derive(Debug, Clone)]
+pub struct GbdtCheckpoint {
+    /// The configuration the run was started with; resume rejects any
+    /// mismatch (a different config would silently diverge).
+    pub cfg: GbdtConfig,
+    /// Training-set size the run was started on (resume sanity check).
+    pub n_rows: usize,
+    /// Boosting rounds completed so far.
+    pub rounds_done: usize,
+    /// Base prediction (target mean).
+    pub base: f64,
+    /// Trees fitted so far, in boosting order.
+    pub trees: Vec<RegressionTree>,
+}
+
+impl GbdtCheckpoint {
+    /// Serialize the full training state.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_len(self.cfg.n_estimators);
+        w.put_len(self.cfg.max_depth);
+        w.put_f64(self.cfg.learning_rate);
+        w.put_len(self.cfg.min_samples_leaf);
+        w.put_f64(self.cfg.subsample);
+        w.put_u64(self.cfg.seed);
+        w.put_len(self.n_rows);
+        w.put_len(self.rounds_done);
+        w.put_f64(self.base);
+        w.put_len(self.trees.len());
+        for t in &self.trees {
+            t.encode(w);
+        }
+    }
+
+    /// Inverse of [`Self::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let cfg = GbdtConfig {
+            n_estimators: r.len()?,
+            max_depth: r.len()?,
+            learning_rate: r.f64()?,
+            min_samples_leaf: r.len()?,
+            subsample: r.f64()?,
+            seed: r.u64()?,
+        };
+        let n_rows = r.len()?;
+        let rounds_done = r.len()?;
+        let base = r.f64()?;
+        let n_trees = r.len()?;
+        if n_trees != rounds_done {
+            return Err(CodecError::Invalid(format!(
+                "checkpoint claims {rounds_done} rounds but stores {n_trees} trees"
+            )));
+        }
+        let mut trees = Vec::with_capacity(n_trees.min(r.remaining()));
+        for _ in 0..n_trees {
+            trees.push(RegressionTree::decode(r)?);
+        }
+        Ok(GbdtCheckpoint {
+            cfg,
+            n_rows,
+            rounds_done,
+            base,
+            trees,
+        })
+    }
+}
+
 /// Squared-loss gradient boosting machine.
 #[derive(Debug, Clone)]
 pub struct GbdtRegressor {
@@ -96,16 +169,65 @@ pub struct GbdtRegressor {
 impl GbdtRegressor {
     /// Fit on `(xs, ys)`.
     pub fn fit(xs: &[Vec<f64>], ys: &[f64], cfg: &GbdtConfig) -> Self {
+        // Delegating keeps the resumable path bit-identical by construction:
+        // there is only one boosting loop.
+        Self::fit_resumable(xs, ys, cfg, None, 0, |_| {})
+    }
+
+    /// [`Self::fit`], with crash recovery: every `checkpoint_every` rounds
+    /// (0 = never) the full training state is handed to `on_checkpoint`
+    /// (which typically persists it), and a run restarted from a saved
+    /// [`GbdtCheckpoint`] continues where it left off and produces a model
+    /// bit-identical to an uninterrupted run.
+    ///
+    /// Resume replays two things exactly: the RNG stream (by re-running the
+    /// completed rounds' `subsample_idx` draws on a fresh seeded RNG) and
+    /// the incremental prediction accumulator (by re-applying each stored
+    /// tree's contribution in boosting order, the same `pred[i] += lr·t(x)`
+    /// float association the live loop uses — *not* `predict_row`, whose
+    /// sum groups differently and would drift by an ULP).
+    ///
+    /// Panics if the checkpoint disagrees with `cfg` or the data size —
+    /// resuming against different inputs would silently diverge.
+    pub fn fit_resumable(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        cfg: &GbdtConfig,
+        resume: Option<GbdtCheckpoint>,
+        checkpoint_every: usize,
+        mut on_checkpoint: impl FnMut(&GbdtCheckpoint),
+    ) -> Self {
         assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
         assert!(!xs.is_empty(), "cannot fit GBDT on empty data");
         let n = xs.len();
         let base = ys.iter().sum::<f64>() / n as f64;
         let mut pred = vec![base; n];
-        let mut trees = Vec::with_capacity(cfg.n_estimators);
         let tree_cfg = cfg.tree_config();
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 
-        for _ in 0..cfg.n_estimators {
+        let (mut trees, start_round) = match resume {
+            None => (Vec::with_capacity(cfg.n_estimators), 0),
+            Some(ck) => {
+                assert_eq!(ck.cfg, *cfg, "checkpoint config mismatch on resume");
+                assert_eq!(ck.n_rows, n, "checkpoint row count mismatch on resume");
+                assert_eq!(
+                    ck.base.to_bits(),
+                    base.to_bits(),
+                    "checkpoint base mismatch on resume"
+                );
+                // Fast-forward the RNG and the prediction accumulator
+                // through the completed rounds.
+                for tree in &ck.trees {
+                    let _ = subsample_idx(n, cfg.subsample, &mut rng);
+                    for i in 0..n {
+                        pred[i] += cfg.learning_rate * tree.predict_row(&xs[i]);
+                    }
+                }
+                (ck.trees, ck.rounds_done)
+            }
+        };
+
+        for round in start_round..cfg.n_estimators {
             let rows = subsample_idx(n, cfg.subsample, &mut rng);
             // Squared loss: g = pred − y, h = 1 ⇒ leaf = mean residual.
             let sub_xs: Vec<Vec<f64>> = rows.iter().map(|&i| xs[i].clone()).collect();
@@ -116,6 +238,19 @@ impl GbdtRegressor {
                 pred[i] += cfg.learning_rate * tree.predict_row(&xs[i]);
             }
             trees.push(tree);
+            let done = round + 1;
+            if checkpoint_every > 0
+                && done.is_multiple_of(checkpoint_every)
+                && done < cfg.n_estimators
+            {
+                on_checkpoint(&GbdtCheckpoint {
+                    cfg: *cfg,
+                    n_rows: n,
+                    rounds_done: done,
+                    base,
+                    trees: trees.clone(),
+                });
+            }
         }
         GbdtRegressor {
             base,
@@ -576,6 +711,94 @@ mod tests {
             (final_rmse - best).abs() < 1e-9,
             "{final_rmse} vs best {best}"
         );
+    }
+
+    fn wavy_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..160)
+            .map(|i| vec![i as f64 / 8.0, ((i * 31) % 17) as f64])
+            .collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (x[0]).sin() * 40.0 + x[1] * 3.0)
+            .collect();
+        (xs, ys)
+    }
+
+    fn encoded(m: &GbdtRegressor) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        m.encode(&mut w);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_is_bit_identical() {
+        // Subsampling on, so the RNG stream matters; interrupt at every
+        // checkpoint the run emits and resume from each.
+        let (xs, ys) = wavy_data();
+        let cfg = GbdtConfig {
+            n_estimators: 24,
+            max_depth: 3,
+            learning_rate: 0.2,
+            min_samples_leaf: 2,
+            subsample: 0.7,
+            seed: 5,
+        };
+        let uninterrupted = encoded(&GbdtRegressor::fit(&xs, &ys, &cfg));
+        let mut checkpoints = Vec::new();
+        let _ = GbdtRegressor::fit_resumable(&xs, &ys, &cfg, None, 5, |ck| {
+            checkpoints.push(ck.clone());
+        });
+        assert_eq!(checkpoints.len(), 4, "24 rounds / every 5 → 4 checkpoints");
+        for ck in checkpoints {
+            let rounds = ck.rounds_done;
+            let resumed = GbdtRegressor::fit_resumable(&xs, &ys, &cfg, Some(ck), 0, |_| {});
+            assert_eq!(
+                encoded(&resumed),
+                uninterrupted,
+                "resume from round {rounds} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_codec_round_trips() {
+        let (xs, ys) = wavy_data();
+        let cfg = GbdtConfig {
+            n_estimators: 10,
+            subsample: 0.6,
+            seed: 3,
+            ..quick_cfg()
+        };
+        let mut saved = None;
+        let _ = GbdtRegressor::fit_resumable(&xs, &ys, &cfg, None, 4, |ck| {
+            saved = Some(ck.clone());
+        });
+        let ck = saved.unwrap();
+        let mut w = ByteWriter::new();
+        ck.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let decoded = GbdtCheckpoint::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded.cfg, ck.cfg);
+        assert_eq!(decoded.rounds_done, ck.rounds_done);
+        assert_eq!(decoded.base.to_bits(), ck.base.to_bits());
+        // Resuming from the decoded state matches the uninterrupted run.
+        let want = encoded(&GbdtRegressor::fit(&xs, &ys, &cfg));
+        let got = encoded(&GbdtRegressor::fit_resumable(
+            &xs,
+            &ys,
+            &cfg,
+            Some(decoded),
+            0,
+            |_| {},
+        ));
+        assert_eq!(got, want);
+        // Truncated checkpoints fail cleanly.
+        for cut in (0..bytes.len()).step_by(9).chain([bytes.len() - 1]) {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(GbdtCheckpoint::decode(&mut r).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! practice) solving the `(k+1)×(k+1)` system over the `k` nearest
 //! neighbours of each query point.
 
+use crate::codec::{ByteReader, ByteWriter, CodecError};
 use crate::linalg::Matrix;
 
 /// Fitted exponential variogram parameters.
@@ -67,6 +68,71 @@ impl OrdinaryKriging {
     /// The fitted variogram.
     pub fn variogram(&self) -> Variogram {
         self.vario
+    }
+
+    /// Serialize the fitted interpolator: variogram parameters, the sample
+    /// matrix, and the neighbourhood size. The k-d tree is rebuilt on
+    /// decode from the stored points (the same deterministic build `fit`
+    /// runs), so a restored model predicts bit-identically.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        w.put_f64(self.vario.nugget);
+        w.put_f64(self.vario.psill);
+        w.put_f64(self.vario.range);
+        w.put_len(self.neighbors);
+        w.put_len(self.points.len());
+        for p in &self.points {
+            w.put_f64(p[0]);
+            w.put_f64(p[1]);
+        }
+        w.put_f64s(&self.values);
+    }
+
+    /// Deserialize a model written by [`Self::encode`].
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let vario = Variogram {
+            nugget: r.f64()?,
+            psill: r.f64()?,
+            range: r.f64()?,
+        };
+        let neighbors = r.len()?;
+        let n = r.len()?;
+        if r.remaining() < n.saturating_mul(16) {
+            return Err(CodecError::UnexpectedEof {
+                needed: n.saturating_mul(16),
+                remaining: r.remaining(),
+            });
+        }
+        let mut points = Vec::with_capacity(n);
+        for _ in 0..n {
+            points.push([r.f64()?, r.f64()?]);
+        }
+        let values = r.f64s()?;
+        if values.len() != points.len() {
+            return Err(CodecError::Invalid(format!(
+                "kriging sample matrix is ragged: {} points, {} values",
+                points.len(),
+                values.len()
+            )));
+        }
+        if points.len() < 3 {
+            return Err(CodecError::Invalid(
+                "kriging needs at least 3 stored samples".into(),
+            ));
+        }
+        if neighbors < 2 || neighbors > points.len() {
+            return Err(CodecError::Invalid(format!(
+                "kriging neighbourhood {neighbors} out of range for {} samples",
+                points.len()
+            )));
+        }
+        let tree = crate::kdtree::KdTree::build(points.iter().map(|p| p.to_vec()).collect());
+        Ok(OrdinaryKriging {
+            points,
+            values,
+            vario,
+            neighbors,
+            tree,
+        })
     }
 
     /// Predict the field at `(x, y)`.
@@ -294,6 +360,28 @@ mod tests {
             last = g;
         }
         assert_eq!(v.gamma(0.0), 0.0);
+    }
+
+    #[test]
+    fn codec_round_trip_is_bit_identical() {
+        let (pts, vals) = grid_samples();
+        let ok = OrdinaryKriging::fit(&pts, &vals, 16);
+        let mut w = ByteWriter::new();
+        ok.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let loaded = OrdinaryKriging::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(loaded.variogram(), ok.variogram());
+        for i in 0..30 {
+            let (x, y) = (i as f64 * 3.3 + 1.7, i as f64 * 2.9 + 0.3);
+            assert_eq!(loaded.predict(x, y).to_bits(), ok.predict(x, y).to_bits());
+        }
+        // Every strict prefix fails cleanly.
+        for cut in (0..bytes.len()).step_by(11).chain([bytes.len() - 1]) {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(OrdinaryKriging::decode(&mut r).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

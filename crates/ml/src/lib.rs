@@ -42,10 +42,10 @@ pub mod tree;
 
 pub use dataset::{train_test_split, StandardScaler};
 pub use forest::{RandomForestClassifier, RandomForestRegressor};
-pub use gbdt::{GbdtClassifier, GbdtConfig, GbdtRegressor};
+pub use gbdt::{GbdtCheckpoint, GbdtClassifier, GbdtConfig, GbdtRegressor};
 pub use harmonic::HarmonicMeanPredictor;
 pub use knn::{KnnClassifier, KnnRegressor};
 pub use kriging::OrdinaryKriging;
 pub use metrics::{confusion_matrix, mae, rmse, weighted_f1, ClassificationReport};
-pub use nn::seq2seq::{Seq2Seq, Seq2SeqConfig};
+pub use nn::seq2seq::{Seq2Seq, Seq2SeqConfig, Seq2SeqTrainState};
 pub use tree::{ClassificationTree, RegressionTree, TreeConfig};

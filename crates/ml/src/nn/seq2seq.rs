@@ -502,6 +502,21 @@ impl Seq2Seq {
         f(&mut self.b_out);
     }
 
+    /// Immutable twin of [`Self::for_each_param`], same fixed order.
+    fn for_each_param_ref(&self, mut f: impl FnMut(&Param)) {
+        for l in self.enc.iter().chain(self.dec.iter()) {
+            f(&l.w);
+            f(&l.b);
+        }
+        f(&self.w_out);
+        f(&self.b_out);
+    }
+
+    /// Number of parameter tensors [`Self::for_each_param`] visits.
+    fn param_count(&self) -> usize {
+        4 * self.cfg.layers + 2
+    }
+
     fn clip_and_step(&mut self, scale: f64) {
         // Scale by 1/batch, then clip by global norm, then Adam. Each phase
         // is one sequential pass over the parameters in the same fixed
@@ -523,30 +538,362 @@ impl Seq2Seq {
     /// Train on `(inputs, targets)` pairs; returns the mean training loss
     /// per epoch. Targets should be standardized.
     pub fn train(&mut self, inputs: &[Vec<Vec<f64>>], targets: &[Vec<f64>]) -> Vec<f64> {
+        // One epoch loop serves plain, early-stopped and resumed training,
+        // so the paths cannot drift apart.
+        self.train_resumable(inputs, targets, 0.0, 0, None, 0, |_| {})
+    }
+
+    /// [`Self::train`] with two production affordances, both off by default:
+    ///
+    /// * **Early stopping** — when `val_fraction > 0` and `patience >= 1`,
+    ///   a deterministic interleaved slice of the samples is held out;
+    ///   after each epoch the model is scored on it (autoregressive MSE, no
+    ///   teacher forcing), training stops once `patience` epochs pass
+    ///   without improvement, and the best epoch's weights are restored.
+    /// * **Crash recovery** — every `checkpoint_every` epochs (0 = never)
+    ///   the full training state (weights, Adam moments and step counter,
+    ///   best-epoch snapshot, loss history) is handed to `on_checkpoint`;
+    ///   a run restarted from that [`Seq2SeqTrainState`] converges
+    ///   **bit-identically** to an uninterrupted run.
+    ///
+    /// `StdRng` is not serializable, so resume fast-forwards a fresh seeded
+    /// RNG by replaying exactly what the completed epochs consumed: one
+    /// in-place shuffle of the (persistent!) order permutation plus one
+    /// `f64` draw per decoder step per training sample. Panics if the
+    /// checkpoint disagrees with the config, sample count or early-stop
+    /// settings — resuming against different inputs would silently diverge.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_resumable(
+        &mut self,
+        inputs: &[Vec<Vec<f64>>],
+        targets: &[Vec<f64>],
+        val_fraction: f64,
+        patience: usize,
+        resume: Option<Seq2SeqTrainState>,
+        checkpoint_every: usize,
+        mut on_checkpoint: impl FnMut(&Seq2SeqTrainState),
+    ) -> Vec<f64> {
         assert_eq!(
             inputs.len(),
             targets.len(),
             "inputs/targets length mismatch"
         );
         assert!(!inputs.is_empty(), "cannot train on empty data");
+        let n = inputs.len();
+        let (train_idx, val_idx) = split_validation(n, val_fraction, patience);
+
         let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(1));
-        let mut order: Vec<usize> = (0..inputs.len()).collect();
-        let mut epoch_losses = Vec::with_capacity(self.cfg.epochs);
-        for _ in 0..self.cfg.epochs {
+        let mut order: Vec<usize> = (0..train_idx.len()).collect();
+        let draws_per_epoch = train_idx.len() * self.cfg.horizon;
+
+        let (mut epoch_losses, mut best, start_epoch) = match resume {
+            None => (Vec::with_capacity(self.cfg.epochs), None, 0),
+            Some(st) => {
+                assert_eq!(
+                    st.model.cfg, self.cfg,
+                    "checkpoint config mismatch on resume"
+                );
+                assert_eq!(
+                    st.n_samples, n,
+                    "checkpoint sample count mismatch on resume"
+                );
+                assert_eq!(
+                    st.val_fraction.to_bits(),
+                    val_fraction.to_bits(),
+                    "checkpoint validation fraction mismatch on resume"
+                );
+                assert_eq!(
+                    st.patience, patience,
+                    "checkpoint patience mismatch on resume"
+                );
+                // Replay the RNG stream of the completed epochs. The order
+                // permutation is shuffled in place epoch over epoch, so the
+                // shuffles must be replayed on the same evolving vector,
+                // interleaved with each epoch's teacher-forcing draws.
+                for _ in 0..st.epochs_done {
+                    order.shuffle(&mut rng);
+                    for _ in 0..draws_per_epoch {
+                        let _ = rng.gen::<f64>();
+                    }
+                }
+                let start = st.epochs_done;
+                *self = st.model;
+                (st.epoch_losses, st.best, start)
+            }
+        };
+
+        for epoch in start_epoch..self.cfg.epochs {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             for batch in order.chunks(self.cfg.batch_size) {
                 self.zero_grads();
                 let mut batch_loss = 0.0;
-                for &i in batch {
+                for &o in batch {
+                    let i = train_idx[o];
                     batch_loss += self.loss_and_grad(&inputs[i], &targets[i], &mut rng);
                 }
                 self.clip_and_step(1.0 / batch.len() as f64);
                 epoch_loss += batch_loss;
             }
-            epoch_losses.push(epoch_loss / inputs.len() as f64);
+            epoch_losses.push(epoch_loss / train_idx.len() as f64);
+
+            // Early stopping: score the held-out slice autoregressively
+            // (the way the model is served), track the best epoch.
+            let mut stop = false;
+            if !val_idx.is_empty() {
+                let mut val_loss = 0.0;
+                for &i in &val_idx {
+                    let pred = self.predict(&inputs[i]);
+                    val_loss += pred
+                        .iter()
+                        .zip(&targets[i])
+                        .map(|(p, y)| (p - y) * (p - y))
+                        .sum::<f64>()
+                        / self.cfg.horizon as f64;
+                }
+                val_loss /= val_idx.len() as f64;
+                match &best {
+                    Some(b) if val_loss >= b.val_loss => {
+                        if epoch - b.epoch >= patience {
+                            stop = true;
+                        }
+                    }
+                    _ => {
+                        best = Some(BestEpoch {
+                            val_loss,
+                            epoch,
+                            weights: self.snapshot_weights(),
+                        });
+                    }
+                }
+            }
+
+            let done = epoch + 1;
+            if !stop
+                && checkpoint_every > 0
+                && done.is_multiple_of(checkpoint_every)
+                && done < self.cfg.epochs
+            {
+                on_checkpoint(&Seq2SeqTrainState {
+                    model: self.clone(),
+                    epochs_done: done,
+                    n_samples: n,
+                    val_fraction,
+                    patience,
+                    epoch_losses: epoch_losses.clone(),
+                    best: best.clone(),
+                });
+            }
+            if stop {
+                break;
+            }
+        }
+
+        // Whether training ran out of epochs or stopped early, serve the
+        // best validated weights when a validation slice exists.
+        if let Some(b) = best {
+            self.restore_weights(&b.weights);
         }
         epoch_losses
+    }
+
+    /// Clone every weight tensor, in [`Self::for_each_param`] order.
+    fn snapshot_weights(&self) -> Vec<Vec<f64>> {
+        let mut ws = Vec::with_capacity(self.param_count());
+        self.for_each_param_ref(|p| ws.push(p.w.clone()));
+        ws
+    }
+
+    fn restore_weights(&mut self, ws: &[Vec<f64>]) {
+        assert_eq!(
+            ws.len(),
+            self.param_count(),
+            "weight snapshot shape mismatch"
+        );
+        let mut it = ws.iter();
+        self.for_each_param(|p| {
+            let w = it.next().expect("length checked above");
+            assert_eq!(w.len(), p.w.len(), "weight tensor shape mismatch");
+            p.w.clone_from(w);
+        });
+    }
+}
+
+/// Deterministic interleaved train/validation split: every `k`-th sample
+/// (k ≈ 1 / `val_fraction`, at least 2) goes to validation. Returns all
+/// samples as training data when early stopping is disabled or the set is
+/// too small to split.
+fn split_validation(n: usize, val_fraction: f64, patience: usize) -> (Vec<usize>, Vec<usize>) {
+    if val_fraction <= 0.0 || patience == 0 || n < 4 {
+        return ((0..n).collect(), Vec::new());
+    }
+    let k = ((1.0 / val_fraction).round() as usize).max(2);
+    let (mut train, mut val) = (Vec::new(), Vec::new());
+    for i in 0..n {
+        if i.is_multiple_of(k) {
+            val.push(i);
+        } else {
+            train.push(i);
+        }
+    }
+    if train.is_empty() || val.is_empty() {
+        return ((0..n).collect(), Vec::new());
+    }
+    (train, val)
+}
+
+/// The best validated epoch seen so far (early stopping bookkeeping).
+#[derive(Debug, Clone)]
+struct BestEpoch {
+    val_loss: f64,
+    epoch: usize,
+    /// Weight tensors in `for_each_param` order.
+    weights: Vec<Vec<f64>>,
+}
+
+/// A mid-training Seq2Seq snapshot: the model **with** its Adam moments
+/// and step counter, plus the epoch bookkeeping needed to resume
+/// bit-identically (see [`Seq2Seq::train_resumable`]).
+#[derive(Debug, Clone)]
+pub struct Seq2SeqTrainState {
+    model: Seq2Seq,
+    epochs_done: usize,
+    n_samples: usize,
+    val_fraction: f64,
+    patience: usize,
+    epoch_losses: Vec<f64>,
+    best: Option<BestEpoch>,
+}
+
+impl Seq2SeqTrainState {
+    /// Epochs completed when this snapshot was taken.
+    pub fn epochs_done(&self) -> usize {
+        self.epochs_done
+    }
+
+    /// True when this snapshot can resume a run of `model` over `n_samples`
+    /// sequences with the given early-stopping settings — the exact
+    /// preconditions [`Seq2Seq::train_resumable`] asserts, exposed so
+    /// callers can degrade to a cold start instead of panicking on a stale
+    /// checkpoint.
+    pub fn resumes(
+        &self,
+        model: &Seq2Seq,
+        n_samples: usize,
+        val_fraction: f64,
+        patience: usize,
+    ) -> bool {
+        self.model.cfg == model.cfg
+            && self.n_samples == n_samples
+            && self.val_fraction.to_bits() == val_fraction.to_bits()
+            && self.patience == patience
+    }
+
+    /// Serialize the full training state. Unlike [`Seq2Seq::encode`] this
+    /// includes the Adam moments and step counter — a resumed optimizer
+    /// must continue exactly where it left off, not restart cold.
+    pub fn encode(&self, w: &mut ByteWriter) {
+        self.model.encode(w);
+        self.model.for_each_param_ref(|p| {
+            w.put_f64s(&p.m);
+            w.put_f64s(&p.v);
+        });
+        w.put_u64(self.model.adam.t);
+        w.put_len(self.epochs_done);
+        w.put_len(self.n_samples);
+        w.put_f64(self.val_fraction);
+        w.put_len(self.patience);
+        w.put_f64s(&self.epoch_losses);
+        match &self.best {
+            None => w.put_u8(0),
+            Some(b) => {
+                w.put_u8(1);
+                w.put_f64(b.val_loss);
+                w.put_len(b.epoch);
+                w.put_len(b.weights.len());
+                for t in &b.weights {
+                    w.put_f64s(t);
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`Self::encode`]. Every tensor length is validated
+    /// against the decoded architecture.
+    pub fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
+        let mut model = Seq2Seq::decode(r)?;
+        let n_params = model.param_count();
+        let mut shapes = Vec::with_capacity(n_params);
+        model.for_each_param_ref(|p| shapes.push(p.w.len()));
+        let mut moments = Vec::with_capacity(n_params);
+        for &len in &shapes {
+            let m = r.f64s()?;
+            let v = r.f64s()?;
+            if m.len() != len || v.len() != len {
+                return Err(CodecError::Invalid(format!(
+                    "Adam moment tensor of {} / {} values, expected {len}",
+                    m.len(),
+                    v.len()
+                )));
+            }
+            moments.push((m, v));
+        }
+        let mut it = moments.into_iter();
+        model.for_each_param(|p| {
+            let (m, v) = it.next().expect("count checked above");
+            p.m = m;
+            p.v = v;
+        });
+        model.adam.t = r.u64()?;
+        let epochs_done = r.len()?;
+        let n_samples = r.len()?;
+        let val_fraction = r.f64()?;
+        let patience = r.len()?;
+        let epoch_losses = r.f64s()?;
+        let best = match r.u8()? {
+            0 => None,
+            1 => {
+                let val_loss = r.f64()?;
+                let epoch = r.len()?;
+                let n_tensors = r.len()?;
+                if n_tensors != n_params {
+                    return Err(CodecError::Invalid(format!(
+                        "best-epoch snapshot of {n_tensors} tensors, expected {n_params}"
+                    )));
+                }
+                let mut weights = Vec::with_capacity(n_params);
+                for &len in &shapes {
+                    let t = r.f64s()?;
+                    if t.len() != len {
+                        return Err(CodecError::Invalid(format!(
+                            "best-epoch tensor of {} values, expected {len}",
+                            t.len()
+                        )));
+                    }
+                    weights.push(t);
+                }
+                Some(BestEpoch {
+                    val_loss,
+                    epoch,
+                    weights,
+                })
+            }
+            tag => {
+                return Err(CodecError::BadTag {
+                    what: "best-epoch presence",
+                    tag,
+                })
+            }
+        };
+        Ok(Seq2SeqTrainState {
+            model,
+            epochs_done,
+            n_samples,
+            val_fraction,
+            patience,
+            epoch_losses,
+            best,
+        })
     }
 }
 
@@ -735,6 +1082,181 @@ mod tests {
                 "w_out[{idx}]: numeric {numeric} vs analytic {analytic}"
             );
         }
+    }
+
+    fn sine_task(n: usize) -> (Vec<Vec<Vec<f64>>>, Vec<Vec<f64>>) {
+        let mut inputs = Vec::new();
+        let mut targets = Vec::new();
+        for s in 0..n {
+            let t0 = s as f64 * 0.37;
+            let hist: Vec<Vec<f64>> = (0..6).map(|i| vec![(t0 + i as f64 * 0.5).sin()]).collect();
+            let fut: Vec<f64> = (6..9).map(|i| (t0 + i as f64 * 0.5).sin()).collect();
+            inputs.push(hist);
+            targets.push(fut);
+        }
+        (inputs, targets)
+    }
+
+    fn model_bytes(m: &Seq2Seq) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        m.encode(&mut w);
+        w.into_bytes()
+    }
+
+    #[test]
+    fn resume_from_any_checkpoint_is_bit_identical() {
+        let cfg = Seq2SeqConfig {
+            input_dim: 1,
+            hidden: 6,
+            layers: 2,
+            horizon: 3,
+            epochs: 9,
+            batch_size: 8,
+            lr: 5e-3,
+            teacher_forcing: 0.6, // partial forcing: the RNG stream matters
+            clip_norm: 5.0,
+            seed: 11,
+        };
+        let (inputs, targets) = sine_task(24);
+        let mut uninterrupted = Seq2Seq::new(cfg);
+        uninterrupted.train(&inputs, &targets);
+        let want = model_bytes(&uninterrupted);
+
+        let mut checkpoints = Vec::new();
+        let mut probe = Seq2Seq::new(cfg);
+        probe.train_resumable(&inputs, &targets, 0.0, 0, None, 2, |st| {
+            checkpoints.push(st.clone());
+        });
+        assert_eq!(model_bytes(&probe), want, "checkpointing must not perturb");
+        assert_eq!(checkpoints.len(), 4, "9 epochs / every 2 → 4 checkpoints");
+        for st in checkpoints {
+            let epochs = st.epochs_done();
+            let mut resumed = Seq2Seq::new(cfg);
+            resumed.train_resumable(&inputs, &targets, 0.0, 0, Some(st), 0, |_| {});
+            assert_eq!(
+                model_bytes(&resumed),
+                want,
+                "resume from epoch {epochs} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn train_state_codec_round_trips_and_resumes_bit_identically() {
+        let cfg = Seq2SeqConfig {
+            input_dim: 1,
+            hidden: 5,
+            layers: 1,
+            horizon: 3,
+            epochs: 6,
+            batch_size: 8,
+            lr: 5e-3,
+            teacher_forcing: 0.5,
+            clip_norm: 5.0,
+            seed: 4,
+        };
+        let (inputs, targets) = sine_task(20);
+        let mut uninterrupted = Seq2Seq::new(cfg);
+        uninterrupted.train(&inputs, &targets);
+        let want = model_bytes(&uninterrupted);
+
+        let mut saved = None;
+        let mut probe = Seq2Seq::new(cfg);
+        probe.train_resumable(&inputs, &targets, 0.0, 0, None, 3, |st| {
+            saved = Some(st.clone());
+        });
+        let st = saved.unwrap();
+        let mut w = ByteWriter::new();
+        st.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let decoded = Seq2SeqTrainState::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(decoded.epochs_done(), st.epochs_done());
+
+        // The state that crossed the byte boundary resumes identically —
+        // Adam moments and step counter included.
+        let mut resumed = Seq2Seq::new(cfg);
+        resumed.train_resumable(&inputs, &targets, 0.0, 0, Some(decoded), 0, |_| {});
+        assert_eq!(model_bytes(&resumed), want);
+
+        // Truncated states fail cleanly.
+        for cut in (0..bytes.len()).step_by(37).chain([bytes.len() - 1]) {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            let outcome = Seq2SeqTrainState::decode(&mut r).and_then(|_| r.finish());
+            assert!(outcome.is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn early_stopping_restores_best_epoch_and_remains_resumable() {
+        let cfg = Seq2SeqConfig {
+            input_dim: 1,
+            hidden: 8,
+            layers: 1,
+            horizon: 3,
+            epochs: 14,
+            batch_size: 8,
+            lr: 1e-2,
+            teacher_forcing: 0.7,
+            clip_norm: 5.0,
+            seed: 2,
+        };
+        let (inputs, targets) = sine_task(28);
+        let (val_fraction, patience) = (0.25, 2);
+
+        let mut plain = Seq2Seq::new(cfg);
+        let losses =
+            plain.train_resumable(&inputs, &targets, val_fraction, patience, None, 0, |_| {});
+        assert!(!losses.is_empty());
+        let want = model_bytes(&plain);
+
+        // The restored weights really are a validated snapshot: re-scoring
+        // the held-out slice beats (or ties) every later epoch by
+        // construction, so at minimum the final weights must reproduce the
+        // best recorded validation loss.
+        let (train_idx, val_idx) = split_validation(inputs.len(), val_fraction, patience);
+        assert!(!val_idx.is_empty() && !train_idx.is_empty());
+        assert!(val_idx.len() < train_idx.len());
+
+        // Early stopping composes with checkpoint/resume bit-identically.
+        let mut checkpoints = Vec::new();
+        let mut probe = Seq2Seq::new(cfg);
+        probe.train_resumable(&inputs, &targets, val_fraction, patience, None, 3, |st| {
+            checkpoints.push(st.clone());
+        });
+        assert_eq!(model_bytes(&probe), want);
+        for st in checkpoints {
+            let epochs = st.epochs_done();
+            let mut resumed = Seq2Seq::new(cfg);
+            resumed.train_resumable(
+                &inputs,
+                &targets,
+                val_fraction,
+                patience,
+                Some(st),
+                0,
+                |_| {},
+            );
+            assert_eq!(
+                model_bytes(&resumed),
+                want,
+                "early-stopped resume from epoch {epochs} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_split_is_deterministic_and_guarded() {
+        assert_eq!(split_validation(10, 0.0, 3).1.len(), 0);
+        assert_eq!(split_validation(10, 0.25, 0).1.len(), 0);
+        assert_eq!(split_validation(3, 0.25, 3).1.len(), 0);
+        let (train, val) = split_validation(12, 0.25, 2);
+        assert_eq!(val, vec![0, 4, 8]);
+        assert_eq!(train.len(), 9);
+        // Fractions above one half still leave training data (k >= 2).
+        let (train, val) = split_validation(10, 0.9, 2);
+        assert!(!train.is_empty() && !val.is_empty());
     }
 
     #[test]

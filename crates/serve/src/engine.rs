@@ -17,12 +17,15 @@
 use crate::fault::FaultPlan;
 use crate::metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics};
 use crate::queue::{IngestQueue, OverloadPolicy};
-use crate::registry::ModelRegistry;
+use crate::registry::{Gatekeeper, ModelRegistry, SwapRejected};
 use crate::shard::{run_shard, Ingest, Prediction, SequenceServing, ShardContext};
 use crossbeam::channel::{self, Receiver, Sender};
+use lumos5g::persist::PersistError;
 use lumos5g::TrainedRegressor;
 use lumos5g::{FeatureSet, FeatureSpec};
 use lumos5g_sim::Record;
+use parking_lot::Mutex;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -166,6 +169,25 @@ impl AdmissionMetrics {
     }
 }
 
+#[derive(Debug, Default)]
+struct SwapMetrics {
+    rejected: [AtomicU64; SwapRejected::COUNT],
+}
+
+impl SwapMetrics {
+    fn count(&self, reason: SwapRejected) {
+        self.rejected[reason.index()].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn totals(&self) -> [u64; SwapRejected::COUNT] {
+        let mut out = [0; SwapRejected::COUNT];
+        for (o, c) in out.iter_mut().zip(&self.rejected) {
+            *o = c.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
 /// Final aggregate report returned by [`Engine::shutdown`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct EngineReport {
@@ -183,6 +205,11 @@ pub struct EngineReport {
     pub rejected: u64,
     /// Admission rejections broken down by [`RejectReason`] `index()`.
     pub rejected_by: [u64; RejectReason::COUNT],
+    /// Candidate models refused by the [`Gatekeeper`] over the engine's
+    /// lifetime.
+    pub swap_rejected: u64,
+    /// Gate refusals broken down by [`SwapRejected`] `index()`.
+    pub swap_rejected_by: [u64; SwapRejected::COUNT],
     /// Poison records quarantined by per-record panic isolation.
     pub quarantined: u64,
     /// Responses served by the harmonic fallback predictor.
@@ -268,6 +295,8 @@ pub struct Engine {
     shards: Vec<ShardHandle>,
     registry: Arc<ModelRegistry>,
     admission: AdmissionMetrics,
+    gatekeeper: Mutex<Option<Gatekeeper>>,
+    swaps: SwapMetrics,
     supervisor: JoinHandle<()>,
     responses: Receiver<Prediction>,
 }
@@ -355,9 +384,63 @@ impl Engine {
             shards,
             registry,
             admission: AdmissionMetrics::default(),
+            gatekeeper: Mutex::new(None),
+            swaps: SwapMetrics::default(),
             supervisor,
             responses: out_rx,
         }
+    }
+
+    /// Install (or replace) the validation gate for hot swaps. The
+    /// incumbent MAE baseline is seeded from the currently served model,
+    /// so the very first [`Self::guarded_swap`] is already held to the
+    /// serving model's golden-slice quality.
+    pub fn install_gatekeeper(&self, mut gatekeeper: Gatekeeper) {
+        gatekeeper.seed_incumbent(&self.registry.current().regressor);
+        *self.gatekeeper.lock() = Some(gatekeeper);
+    }
+
+    /// Hot-swap `candidate` in through the validation gate.
+    ///
+    /// With a [`Gatekeeper`] installed, the candidate first replays the
+    /// golden slice: a panic, any non-finite prediction, or an MAE beyond
+    /// the gate's tolerance refuses the swap with a typed [`SwapRejected`]
+    /// reason — counted in [`EngineReport::swap_rejected_by`] — and the
+    /// incumbent keeps serving, untouched. Without a gatekeeper this is
+    /// exactly [`ModelRegistry::swap`]. Returns the new version on success.
+    pub fn guarded_swap(&self, candidate: TrainedRegressor) -> Result<u64, SwapRejected> {
+        let mut gate = self.gatekeeper.lock();
+        if let Some(gk) = gate.as_mut() {
+            if let Err(reason) = gk.admit(&candidate) {
+                self.swaps.count(reason);
+                return Err(reason);
+            }
+        }
+        Ok(self.registry.swap(candidate))
+    }
+
+    /// Roll the served model back to the newest durable generation on disk
+    /// below the currently served one (written by [`ModelRegistry::store`]).
+    ///
+    /// The restored model is published as a *new* version — shards always
+    /// move forward — and, when a gatekeeper is installed, re-seeds the
+    /// incumbent MAE baseline so subsequent swaps are gated against the
+    /// restored generation. Returns `(published_version, restored_generation)`.
+    pub fn rollback_model(&self, dir: &Path) -> Result<(u64, u64), PersistError> {
+        let current = self.registry.version();
+        let (model, generation) = ModelRegistry::load_generation_below(dir, current)?;
+        let mut gate = self.gatekeeper.lock();
+        if let Some(gk) = gate.as_mut() {
+            gk.set_incumbent_mae(gk.score(&model).ok());
+        }
+        let version = self.registry.swap(model);
+        Ok((version, generation))
+    }
+
+    /// Candidate models refused by the gate so far, by [`SwapRejected`]
+    /// `index()`.
+    pub fn swap_rejected_by_reason(&self) -> [u64; SwapRejected::COUNT] {
+        self.swaps.totals()
     }
 
     /// The model registry (hot-swap entry point).
@@ -437,6 +520,8 @@ impl Engine {
             shards,
             registry: _,
             admission,
+            gatekeeper: _,
+            swaps,
             supervisor,
             responses,
         } = self;
@@ -466,6 +551,7 @@ impl Engine {
         }
         let sum = |f: fn(&MetricsSnapshot) -> u64| snapshots.iter().map(f).sum::<u64>();
         let rejected_by = admission.totals();
+        let swap_rejected_by = swaps.totals();
         let report = EngineReport {
             processed: sum(|s| s.processed),
             predictions: sum(|s| s.predictions),
@@ -473,6 +559,8 @@ impl Engine {
             shed_stale: sum(|s| s.shed_stale),
             rejected: rejected_by.iter().sum(),
             rejected_by,
+            swap_rejected: swap_rejected_by.iter().sum(),
+            swap_rejected_by,
             quarantined: sum(|s| s.quarantined),
             fallbacks: sum(|s| s.fallbacks),
             panicked: sum(|s| s.panicked),
@@ -708,6 +796,208 @@ mod tests {
         // Sessions rebuild cold after each kill, so ordering is preserved.
         let ts: Vec<u32> = got.iter().map(|p| p.t).collect();
         assert_eq!(ts, vec![0, 1, 2, 3, 4]);
+    }
+
+    fn golden_dataset(n: u32) -> lumos5g_sim::Dataset {
+        lumos5g_sim::Dataset::new(
+            (0..n)
+                .map(|t| rec(1, t, 60.0 + (t % 7) as f64 * 12.0))
+                .collect(),
+        )
+    }
+
+    fn train_gbdt(set: FeatureSet, ds: &lumos5g_sim::Dataset) -> TrainedRegressor {
+        lumos5g::Lumos5G::new(set, lumos5g::ModelKind::Gdbt(lumos5g::quick_gbdt()))
+            .fit_regression(ds)
+            .expect("gbdt trains")
+    }
+
+    #[test]
+    fn guarded_swap_without_gatekeeper_is_a_plain_swap() {
+        let engine = Engine::start(
+            TrainedRegressor::Harmonic { window: 5 },
+            EngineConfig {
+                shards: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            engine.guarded_swap(TrainedRegressor::Harmonic { window: 7 }),
+            Ok(2)
+        );
+        let (report, _rx) = engine.shutdown();
+        assert_eq!(report.swap_rejected, 0);
+    }
+
+    /// The gate's three failure modes, end to end: a candidate whose every
+    /// prediction is NaN (GDBT trained on NaN targets), a candidate that
+    /// panics on the golden slice (trees referencing feature indices the
+    /// swapped-in narrower spec no longer provides), and a healthy
+    /// candidate that passes. Rejections are typed, counted, and leave the
+    /// incumbent serving.
+    #[test]
+    fn gatekeeper_rejects_nan_and_panicking_candidates_with_typed_reasons() {
+        let engine = Engine::start(
+            TrainedRegressor::Harmonic { window: 5 },
+            EngineConfig {
+                shards: 1,
+                ..Default::default()
+            },
+        );
+        engine.install_gatekeeper(Gatekeeper::new(golden_dataset(40), 1.5));
+
+        // NaN candidate: boosting from NaN targets yields a NaN base score,
+        // so every prediction is NaN — deterministically. (Built below the
+        // validating framework API, the way a buggy retraining pipeline
+        // would.)
+        let xs = vec![vec![1000.0, 2000.0]; 20];
+        let ys = vec![f64::NAN; 20];
+        let nan_candidate = TrainedRegressor::Gdbt {
+            model: lumos5g_ml::GbdtRegressor::fit(&xs, &ys, &lumos5g::quick_gbdt()),
+            spec: FeatureSpec::new(FeatureSet::L),
+        };
+        assert_eq!(
+            engine.guarded_swap(nan_candidate),
+            Err(SwapRejected::NonFinite)
+        );
+
+        // Panic candidate: trained on the wide LMC rows (its splits use
+        // throughput-history features at indices ≥ 2), then re-labelled
+        // with the 2-dim L spec — golden replay indexes out of bounds.
+        let wide = train_gbdt(FeatureSet::LMC, &golden_dataset(60));
+        let TrainedRegressor::Gdbt { model, .. } = wide else {
+            panic!("trained a GDBT");
+        };
+        let panic_candidate = TrainedRegressor::Gdbt {
+            model,
+            spec: FeatureSpec::new(FeatureSet::L),
+        };
+        assert_eq!(
+            engine.guarded_swap(panic_candidate),
+            Err(SwapRejected::Panicked)
+        );
+
+        // Both rejections left version 1 serving, typed and counted.
+        assert_eq!(engine.registry().version(), 1);
+        let mut expect = [0u64; SwapRejected::COUNT];
+        expect[SwapRejected::Panicked.index()] = 1;
+        expect[SwapRejected::NonFinite.index()] = 1;
+        assert_eq!(engine.swap_rejected_by_reason(), expect);
+
+        // A healthy candidate still clears the gate.
+        assert_eq!(
+            engine.guarded_swap(TrainedRegressor::Harmonic { window: 5 }),
+            Ok(2)
+        );
+        let (report, _rx) = engine.shutdown();
+        assert_eq!(report.swap_rejected, 2);
+        assert_eq!(report.swap_rejected_by, expect);
+    }
+
+    #[test]
+    fn mae_regressions_are_refused_against_the_seeded_incumbent() {
+        let engine = Engine::start(
+            TrainedRegressor::Gdbt {
+                model: match train_gbdt(FeatureSet::L, &golden_dataset(60)) {
+                    TrainedRegressor::Gdbt { model, .. } => model,
+                    _ => unreachable!(),
+                },
+                spec: FeatureSpec::new(FeatureSet::L),
+            },
+            EngineConfig {
+                shards: 1,
+                ..Default::default()
+            },
+        );
+        // The incumbent GDBT was trained on the golden slice itself, so its
+        // golden MAE is tiny; a harmonic-mean candidate cannot compete.
+        engine.install_gatekeeper(Gatekeeper::new(golden_dataset(60), 1.1));
+        assert_eq!(
+            engine.guarded_swap(TrainedRegressor::Harmonic { window: 5 }),
+            Err(SwapRejected::MaeRegression)
+        );
+        assert_eq!(engine.registry().version(), 1);
+        let (report, _rx) = engine.shutdown();
+        assert_eq!(report.swap_rejected, 1);
+        assert_eq!(
+            report.swap_rejected_by[SwapRejected::MaeRegression.index()],
+            1
+        );
+    }
+
+    /// `rollback_model` restores the previous on-disk generation and the
+    /// restored model serves bit-identically to a fresh engine running the
+    /// same model.
+    #[test]
+    fn rollback_restores_the_prior_generation_bit_identically() {
+        let dir = std::env::temp_dir().join(format!("l5gm-engine-rollback-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let engine = Engine::start(
+            train_gbdt(FeatureSet::L, &golden_dataset(60)),
+            EngineConfig {
+                shards: 1,
+                ..Default::default()
+            },
+        );
+        engine.registry().store(&dir).unwrap(); // gen 1: the GDBT
+        assert_eq!(
+            engine.guarded_swap(TrainedRegressor::Harmonic { window: 9 }),
+            Ok(2)
+        );
+        engine.registry().store(&dir).unwrap(); // gen 2: the bad harmonic
+
+        let (version, generation) = engine.rollback_model(&dir).unwrap();
+        assert_eq!(generation, 1, "restored the previous durable generation");
+        assert_eq!(version, 3, "published as a new version, never backwards");
+        assert!(matches!(
+            *engine.registry().current().regressor,
+            TrainedRegressor::Gdbt { .. }
+        ));
+
+        // The rolled-back engine answers a fresh UE bit-identically to a
+        // reference engine started on an identically retrained model
+        // (training is deterministic, and the checkpoint codec round-trips
+        // bit-exactly).
+        let reference = Engine::start(
+            train_gbdt(FeatureSet::L, &golden_dataset(60)),
+            EngineConfig {
+                shards: 1,
+                ..Default::default()
+            },
+        );
+        for t in 0..12 {
+            assert!(engine.submit(42, rec(2, t, 40.0 + 7.0 * t as f64)));
+            assert!(reference.submit(42, rec(2, t, 40.0 + 7.0 * t as f64)));
+        }
+        let (_, rolled) = engine.shutdown();
+        let (_, fresh) = reference.shutdown();
+        let bits = |rx: Receiver<Prediction>| -> Vec<Option<u64>> {
+            rx.iter()
+                .filter(|p| p.ue == 42)
+                .map(|p| p.predicted_mbps.map(f64::to_bits))
+                .collect()
+        };
+        let rolled_bits = bits(rolled);
+        assert!(
+            rolled_bits.iter().any(|b| b.is_some()),
+            "the restored GDBT must actually predict"
+        );
+        assert_eq!(rolled_bits, bits(fresh));
+
+        // A rollback with no earlier durable generation is a typed error.
+        let engine2 = Engine::start(
+            TrainedRegressor::Harmonic { window: 3 },
+            EngineConfig {
+                shards: 1,
+                ..Default::default()
+            },
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(engine2.rollback_model(&dir).is_err());
+        engine2.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

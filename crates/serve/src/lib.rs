@@ -25,9 +25,21 @@
 //!   [`lumos5g::TrainedRegressor::predict_one`], the very code paths the
 //!   offline `eval` reduces to, so online predictions are bit-identical to
 //!   the training-time numbers (asserted by the workspace `serving` test).
-//! * **Hot swap** — [`registry::ModelRegistry`] atomically replaces the
-//!   served model mid-stream; in-flight records finish on the version they
-//!   started with and responses carry the version that produced them.
+//! * **Hot swap, gated** — [`registry::ModelRegistry`] atomically replaces
+//!   the served model mid-stream; in-flight records finish on the version
+//!   they started with and responses carry the version that produced them.
+//!   [`engine::Engine::guarded_swap`] routes candidates through a
+//!   [`registry::Gatekeeper`] that replays a golden slice of held-out
+//!   records first — a panicking, non-finite or MAE-regressing candidate is
+//!   refused with a typed [`registry::SwapRejected`] reason, and
+//!   [`engine::Engine::rollback_model`] restores the previous durable
+//!   generation from disk.
+//! * **Durable generations** — [`registry::ModelRegistry::store`] writes
+//!   `model.gen-{N}.l5gm` checkpoints atomically (temp file + fsync +
+//!   rename, CRC-sealed container) with bounded retention;
+//!   [`registry::ModelRegistry::load_dir_report`] cold-starts from the
+//!   newest generation that passes its integrity check and reports every
+//!   torn or corrupt file it skipped ([`registry::LoadReport`]).
 //! * **Backpressure** — ingest queues are bounded; [`queue::OverloadPolicy`]
 //!   picks between blocking the producer, shedding load (counted, never
 //!   silent), and a dequeue-side staleness deadline.
@@ -67,7 +79,10 @@ pub use engine::{admit, Engine, EngineConfig, EngineReport, RejectReason, Submit
 pub use fault::{Corruption, FaultPlan, PredictFault, RecordFault, RecordKey};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ShardMetrics};
 pub use queue::OverloadPolicy;
-pub use registry::{ModelRegistry, ModelVersion};
+pub use registry::{
+    Gatekeeper, LoadReport, ModelRegistry, ModelVersion, SkippedCheckpoint, SwapRejected,
+    RETAIN_GENERATIONS,
+};
 pub use replay::{ReplaySource, ReplayStats};
 pub use session::Session;
 pub use shard::{Ingest, Prediction, SequenceServing, ShardContext};
